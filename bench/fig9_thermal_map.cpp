@@ -1,0 +1,120 @@
+// E6 — Reproduction of Fig. 9: thermal map of the POWER7+ at full load
+// cooled by the electrolyte flow at 676 ml/min, 27 C inlet. Paper: 41 C
+// peak; our reconstruction lands in the upper 30s (see EXPERIMENTS.md for
+// the documented power-map uncertainty).
+#include <cstdio>
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "chip/power7.h"
+#include "core/report.h"
+#include "thermal/model.h"
+
+namespace th = brightsi::thermal;
+namespace ch = brightsi::chip;
+using brightsi::core::TextTable;
+using brightsi::core::print_ascii_map;
+
+namespace {
+
+th::OperatingPoint paper_operating_point() {
+  th::OperatingPoint op;
+  op.total_flow_m3_per_s = 676e-6 / 60.0;  // Table II
+  op.inlet_temperature_k = 300.15;         // 27 C
+  return op;
+}
+
+void print_reproduction() {
+  const auto floorplan = ch::make_power7_floorplan();
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM);
+  const auto sol = model.solve_steady(floorplan, paper_operating_point());
+
+  std::printf("== E6: Fig. 9 full-load thermal map ==\n");
+  std::printf("grid %d x %d x %d cells, total power %.1f W, coolant 676 ml/min @ 27 C\n",
+              model.nx(), model.ny(), model.nz(), floorplan.total_power());
+
+  TextTable table({"quantity", "model", "paper", "unit"});
+  table.add_row({"peak temperature", TextTable::num(sol.peak_temperature_k - 273.15, 1),
+                 "41", "C"});
+  table.add_row({"fluid heat absorbed", TextTable::num(sol.fluid_heat_absorbed_w, 1),
+                 "(all)", "W"});
+  table.add_row({"energy balance error", TextTable::num(sol.energy_balance_error * 100, 4),
+                 "-", "%"});
+  double outlet_mean = 0.0;
+  for (const double t : sol.channel_outlet_k) {
+    outlet_mean += t;
+  }
+  outlet_mean /= static_cast<double>(sol.channel_outlet_k.size());
+  table.add_row({"mean outlet temperature", TextTable::num(outlet_mean - 273.15, 2), "-", "C"});
+  table.print(std::cout);
+
+  std::printf("\nper-block temperatures (C):\n");
+  TextTable blocks({"block", "mean", "max"});
+  for (const auto& bt : sol.block_temperatures) {
+    blocks.add_row({bt.name, TextTable::num(bt.mean_k - 273.15, 1),
+                    TextTable::num(bt.max_k - 273.15, 1)});
+  }
+  blocks.print(std::cout);
+
+  // Celsius map for display.
+  auto map_c = sol.source_layer_map_k;
+  for (double& v : map_c.data()) {
+    v -= 273.15;
+  }
+  std::printf("\n");
+  print_ascii_map(std::cout, map_c, "die temperature map (active layer)", "C");
+
+  const double peak_c = sol.peak_temperature_k - 273.15;
+  std::printf("\nreproduced (peak in the 34-43 C liquid-cooled band, cores hottest near"
+              " outlet): %s\n",
+              (peak_c > 34.0 && peak_c < 43.0 && sol.peak_iz == 0) ? "YES" : "NO");
+
+  const std::string path = brightsi::core::write_results_file(
+      "fig9_thermal_map.csv", [&](std::ostream& os) {
+        brightsi::core::write_field_csv(os, map_c, ch::kPower7DieWidthM,
+                                        ch::kPower7DieHeightM);
+      });
+  if (!path.empty()) {
+    std::printf("field written to %s\n", path.c_str());
+  }
+  std::printf("\n");
+}
+
+void bm_thermal_steady(benchmark::State& state) {
+  const auto floorplan = ch::make_power7_floorplan();
+  th::ThermalModel::GridSettings settings;
+  settings.axial_cells = static_cast<int>(state.range(0));
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, settings);
+  const auto op = paper_operating_point();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.solve_steady(floorplan, op));
+  }
+}
+BENCHMARK(bm_thermal_steady)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void bm_thermal_transient_step(benchmark::State& state) {
+  const auto floorplan = ch::make_power7_floorplan();
+  th::ThermalModel::GridSettings settings;
+  settings.axial_cells = 16;
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, settings);
+  const auto op = paper_operating_point();
+  auto state_grid = model.uniform_state(op.inlet_temperature_k);
+  for (auto _ : state) {
+    auto sol = model.step_transient(state_grid, floorplan, op, 0.05);
+    benchmark::DoNotOptimize(sol.peak_temperature_k);
+  }
+}
+BENCHMARK(bm_thermal_transient_step)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Design-space exploration: a engineer sizing the microchannel array for a
+// target supply current and temperature limit.
+//
+//   $ ./channel_design_sweep [target_current_A] [max_peak_C]
+//
+// Sweeps channel width and flow rate, runs the supply model and the
+// thermal model for each candidate, and prints the feasible designs with
+// their pumping cost so the knee of the trade-off is visible.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "chip/power7.h"
+#include "core/report.h"
+#include "electrochem/vanadium.h"
+#include "flowcell/cell_array.h"
+#include "hydraulics/pump.h"
+#include "thermal/model.h"
+
+namespace fc = brightsi::flowcell;
+namespace ec = brightsi::electrochem;
+namespace hy = brightsi::hydraulics;
+namespace th = brightsi::thermal;
+namespace ch = brightsi::chip;
+using brightsi::core::TextTable;
+
+namespace {
+
+struct Candidate {
+  double channel_width_um;
+  double flow_ml_min;
+};
+
+struct Evaluation {
+  double current_a = 0.0;
+  double peak_c = 0.0;
+  double pump_w = 0.0;
+  bool feasible = false;
+};
+
+Evaluation evaluate(const Candidate& c, double target_current, double max_peak_c) {
+  // Keep the 300 um pitch: fewer, wider channels or more, narrower ones.
+  const double pitch = 300e-6;
+  const int channels = static_cast<int>((ch::kPower7DieWidthM - 150e-6) / pitch);
+
+  auto spec = fc::power7_array_spec();
+  spec.channel_count = channels;
+  spec.geometry.electrode_gap_m = c.channel_width_um * 1e-6;
+  spec.total_flow_m3_per_s = c.flow_ml_min * 1e-6 / 60.0;
+  const fc::FlowCellArray array(spec, ec::power7_array_chemistry());
+
+  Evaluation eval;
+  eval.current_a = array.current_at_voltage(1.0);
+  const auto h = array.hydraulics_at_spec_flow();
+  eval.pump_w = hy::pumping_power_w(h.pressure_drop_pa, spec.total_flow_m3_per_s, 0.5);
+
+  // Thermal check with the matching channel layer.
+  auto stack = th::power7_microchannel_stack();
+  stack.channel_layer->channel_count = channels;
+  stack.channel_layer->channel_width_m = c.channel_width_um * 1e-6;
+  stack.channel_layer->interior_wall_width_m = pitch - c.channel_width_um * 1e-6;
+  th::ThermalModel::GridSettings grid;
+  grid.axial_cells = 8;
+  const th::ThermalModel model(stack, ch::kPower7DieWidthM, ch::kPower7DieHeightM, grid);
+  th::OperatingPoint op;
+  op.total_flow_m3_per_s = spec.total_flow_m3_per_s;
+  op.inlet_temperature_k = 300.15;
+  const auto sol = model.solve_steady(ch::make_power7_floorplan(), op);
+  eval.peak_c = sol.peak_temperature_k - 273.15;
+
+  eval.feasible = eval.current_a >= target_current && eval.peak_c <= max_peak_c;
+  return eval;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double target_current = (argc > 1) ? std::atof(argv[1]) : 6.0;
+  const double max_peak_c = (argc > 2) ? std::atof(argv[2]) : 45.0;
+
+  std::printf("design sweep: target >= %.1f A at 1 V, peak <= %.0f C\n\n", target_current,
+              max_peak_c);
+
+  TextTable table({"width (um)", "flow (ml/min)", "I@1V (A)", "peak (C)", "pump (W)",
+                   "feasible"});
+  for (const double width : {100.0, 150.0, 200.0, 250.0}) {
+    for (const double flow : {200.0, 450.0, 676.0, 1200.0}) {
+      const auto eval = evaluate({width, flow}, target_current, max_peak_c);
+      table.add_row({TextTable::num(width, 0), TextTable::num(flow, 0),
+                     TextTable::num(eval.current_a, 2), TextTable::num(eval.peak_c, 1),
+                     TextTable::num(eval.pump_w, 2), eval.feasible ? "yes" : "-"});
+    }
+  }
+  table.print(std::cout);
+  std::printf("\npick the feasible row with the smallest pumping power.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Mission endurance: run the integrated POWER7+ through a bursty workload
+// while tracking die temperature, bus operating point and the electrolyte
+// state of charge — the full system answer to "how long does the
+// flow-battery loop carry the cache rail?".
+//
+//   $ ./mission_endurance [tank_milliliters_per_side]
+//
+// Small tanks (try 2) drain visibly within the run; liter-class tanks are
+// flat over any interactive timescale (see bench/ablation_soc for hours).
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/mission.h"
+
+namespace co = brightsi::core;
+namespace ch = brightsi::chip;
+
+int main(int argc, char** argv) {
+  const double tank_ml = (argc > 1) ? std::atof(argv[1]) : 5.0;
+
+  co::MissionConfig config;
+  config.system = co::power7_system_config();
+  config.system.thermal_grid.axial_cells = 16;
+  config.workload = ch::burst_trace(2);
+  config.reservoir.tank_volume_m3 = tank_ml * 1e-6;
+  config.reservoir.total_vanadium_mol_per_m3 = 2001.0;
+  config.reservoir.chemistry = config.system.chemistry;
+  config.initial_soc = 0.95;
+  config.dt_s = 0.1;
+
+  std::printf("mission: 2x (idle | burst | sustain), %.1f mL tanks per side, SOC0 = %.2f\n\n",
+              tank_ml, config.initial_soc);
+
+  const co::MissionResult result = co::run_mission(config);
+
+  std::printf("   t (s)  phase      peak (C)  outlet (C)   SOC    bus V   bus A  supply\n");
+  int printed = 0;
+  for (const auto& s : result.samples) {
+    if (++printed % 3 != 0) {
+      continue;  // thin the printout
+    }
+    std::printf("  %6.1f  %-9s  %8.2f  %10.2f  %5.3f  %6.3f  %6.2f  %s\n", s.time_s,
+                s.phase.c_str(), s.peak_temperature_c, s.mean_outlet_c, s.state_of_charge,
+                s.bus_voltage_v, s.bus_current_a, s.supply_ok ? "ok" : "FAIL");
+  }
+
+  std::printf("\nmission summary: final SOC %.3f, max peak %.1f C, %.1f J delivered, supply %s\n",
+              result.final_soc, result.max_peak_temperature_c, result.energy_delivered_j,
+              result.supply_always_ok ? "held throughout" : "FAILED at least once");
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "chip/workload.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/contracts.h"
+
+namespace brightsi::chip {
+
+void WorkloadPhase::validate() const {
+  ensure(!name.empty(), "workload phase must be named");
+  ensure_positive(duration_s, "phase duration");
+  ensure_non_negative(core_activity, "core activity");
+  ensure_non_negative(cache_activity, "cache activity");
+  ensure_non_negative(logic_activity, "logic activity");
+  ensure_non_negative(io_activity, "io activity");
+}
+
+WorkloadTrace::WorkloadTrace(std::vector<WorkloadPhase> phases, int repeats)
+    : phases_(std::move(phases)), repeats_(repeats) {
+  ensure(!phases_.empty(), "workload trace needs at least one phase");
+  ensure(repeats >= 1, "workload repeats must be positive");
+  for (const auto& phase : phases_) {
+    phase.validate();
+  }
+}
+
+double WorkloadTrace::total_duration_s() const {
+  double once = 0.0;
+  for (const auto& phase : phases_) {
+    once += phase.duration_s;
+  }
+  return once * repeats_;
+}
+
+const WorkloadPhase& WorkloadTrace::phase_at(double t_s) const {
+  ensure(!phases_.empty(), "empty workload trace");
+  ensure_non_negative(t_s, "time");
+  const double total = total_duration_s();
+  if (t_s >= total) {
+    throw std::out_of_range("WorkloadTrace::phase_at: time beyond the trace");
+  }
+  double once = total / repeats_;
+  double local = std::fmod(t_s, once);
+  for (const auto& phase : phases_) {
+    if (local < phase.duration_s) {
+      return phase;
+    }
+    local -= phase.duration_s;
+  }
+  return phases_.back();
+}
+
+Floorplan apply_phase(const Power7PowerSpec& spec, const WorkloadPhase& phase) {
+  phase.validate();
+  Power7PowerSpec scaled = spec;
+  scaled.core_w_per_cm2 *= phase.core_activity;
+  scaled.cache_w_per_cm2 *= phase.cache_activity;
+  scaled.logic_w_per_cm2 *= phase.logic_activity;
+  scaled.io_w_per_cm2 *= phase.io_activity;
+  return make_power7_floorplan(scaled);
+}
+
+WorkloadTrace full_load_trace(double duration_s) {
+  return WorkloadTrace({{"full-load", duration_s, 1.0, 1.0, 1.0, 1.0}});
+}
+
+WorkloadTrace burst_trace(int repeats) {
+  return WorkloadTrace(
+      {
+          {"idle", 0.6, 0.15, 0.4, 0.5, 0.3},
+          {"burst", 1.2, 1.0, 1.0, 1.0, 1.0},
+          {"sustain", 1.2, 0.7, 0.9, 0.8, 0.8},
+      },
+      repeats);
+}
+
+WorkloadTrace memory_bound_trace(double duration_s) {
+  // Outlook ref. [25]: compute throttled, memory system saturated.
+  return WorkloadTrace({{"memory-bound", duration_s, 0.3, 1.0, 0.9, 1.0}});
+}
+
+}  // namespace brightsi::chip

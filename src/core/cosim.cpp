@@ -1,0 +1,221 @@
+#include "core/cosim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "electrochem/constants.h"
+#include "hydraulics/pump.h"
+#include "numerics/contracts.h"
+#include "numerics/root_finding.h"
+
+namespace brightsi::core {
+
+namespace ec = brightsi::electrochem;
+
+IntegratedMpsocSystem::IntegratedMpsocSystem(SystemConfig config)
+    : config_(std::move(config)), floorplan_(chip::make_power7_floorplan(config_.power_spec)) {
+  config_.validate();
+  thermal_model_ = std::make_unique<thermal::ThermalModel>(
+      config_.stack, floorplan_.die_width(), floorplan_.die_height(), config_.thermal_grid);
+  array_ = std::make_unique<flowcell::FlowCellArray>(config_.array_spec, config_.chemistry,
+                                                     config_.fvm);
+  power_grid_ = std::make_unique<pdn::PowerGrid>(config_.grid_spec, floorplan_);
+  ensure(thermal_model_->channel_count() == config_.array_spec.channel_count,
+         "thermal stack and array disagree on the channel count");
+}
+
+std::vector<std::vector<double>> IntegratedMpsocSystem::group_channel_profiles(
+    const std::vector<std::vector<double>>& per_channel) const {
+  const int groups = config_.channel_groups;
+  const int per_group = config_.array_spec.channel_count / groups;
+  ensure(static_cast<int>(per_channel.size()) == config_.array_spec.channel_count,
+         "profile count mismatch");
+  std::vector<std::vector<double>> grouped(static_cast<std::size_t>(groups));
+  for (int g = 0; g < groups; ++g) {
+    const std::size_t samples = per_channel[static_cast<std::size_t>(g * per_group)].size();
+    std::vector<double> mean(samples, 0.0);
+    for (int c = g * per_group; c < (g + 1) * per_group; ++c) {
+      const auto& profile = per_channel[static_cast<std::size_t>(c)];
+      ensure(profile.size() == samples, "inconsistent profile lengths");
+      for (std::size_t i = 0; i < samples; ++i) {
+        mean[i] += profile[i];
+      }
+    }
+    for (double& v : mean) {
+      v /= per_group;
+    }
+    grouped[static_cast<std::size_t>(g)] = std::move(mean);
+  }
+  return grouped;
+}
+
+double IntegratedMpsocSystem::array_current_with_profiles(
+    double cell_voltage_v, const std::vector<std::vector<double>>& group_profiles) const {
+  const int groups = config_.channel_groups;
+  const int per_group = config_.array_spec.channel_count / groups;
+  ensure(static_cast<int>(group_profiles.size()) == groups, "group profile count mismatch");
+
+  const flowcell::ChannelModel& model = array_->channel_model();
+  double total = 0.0;
+  for (const auto& profile : group_profiles) {
+    flowcell::ChannelOperatingConditions conditions;
+    conditions.volumetric_flow_m3_per_s = config_.array_spec.per_channel_flow();
+    conditions.inlet_temperature_k = config_.array_spec.inlet_temperature_k;
+    conditions.axial_temperature_k = profile;
+    conditions.parasitic_current_density_a_per_m2 =
+        config_.array_spec.parasitic_current_density_a_per_m2;
+    total += model.solve_at_voltage(cell_voltage_v, conditions).current_a * per_group;
+  }
+  return total;
+}
+
+SupplyOperatingPoint IntegratedMpsocSystem::solve_supply(
+    double vrm_output_power_w, const std::vector<std::vector<double>>& group_profiles) const {
+  SupplyOperatingPoint op;
+  op.vrm_output_power_w = vrm_output_power_w;
+  const double input_power = vrm_output_power_w / config_.vrm_spec.efficiency;
+  op.vrm_loss_w = input_power - vrm_output_power_w;
+
+  const double ocv = array_->open_circuit_voltage();
+
+  // The stable operating point is the highest bus voltage where the array
+  // sources the VRM input power: P_array(V) = V * I_array(V) rises from 0
+  // at OCV as V decreases; find the first crossing with input_power.
+  auto surplus = [&](double v) {
+    return v * array_current_with_profiles(v, group_profiles) - input_power;
+  };
+
+  const double v_hi = ocv - 1e-3;
+  if (surplus(v_hi) >= 0.0) {
+    op.bus_voltage_v = v_hi;  // demand met at (essentially) open circuit
+  } else {
+    // Scan downward for a bracketing voltage (the maximum-power point of
+    // the array bounds the search).
+    double v_lo = v_hi;
+    bool bracketed = false;
+    for (double v = v_hi - 0.05; v >= 0.2; v -= 0.05) {
+      if (surplus(v) >= 0.0) {
+        v_lo = v;
+        bracketed = true;
+        break;
+      }
+    }
+    if (!bracketed) {
+      op.feasible = false;
+      return op;  // array cannot deliver this power at any sane voltage
+    }
+    const auto root = numerics::find_root_brent(surplus, v_lo, v_hi, 1e-5,
+                                                1e-3 * std::max(input_power, 1.0), 64);
+    op.bus_voltage_v = root.root;
+  }
+  op.array_current_a = array_current_with_profiles(op.bus_voltage_v, group_profiles);
+  op.array_power_w = op.bus_voltage_v * op.array_current_a;
+  op.feasible = true;
+  op.vrm_window_ok = op.bus_voltage_v >= config_.vrm_spec.min_input_voltage_v &&
+                     op.bus_voltage_v <= config_.vrm_spec.max_input_voltage_v;
+  return op;
+}
+
+CoSimReport IntegratedMpsocSystem::run() const {
+  CoSimReport report;
+
+  thermal::OperatingPoint thermal_op;
+  thermal_op.total_flow_m3_per_s = config_.array_spec.total_flow_m3_per_s;
+  thermal_op.inlet_temperature_k = config_.array_spec.inlet_temperature_k;
+  thermal_op.coolant.thermal_conductivity_w_per_m_k =
+      config_.chemistry.electrolyte.thermal_conductivity_w_per_m_k;
+  thermal_op.coolant.volumetric_heat_capacity_j_per_m3_k =
+      config_.chemistry.electrolyte.volumetric_heat_capacity_j_per_m3_k;
+  thermal_op.coolant.density_kg_per_m3 = config_.chemistry.electrolyte.density_kg_per_m3.at(
+      config_.array_spec.inlet_temperature_k);
+  thermal_op.coolant.dynamic_viscosity_pa_s =
+      config_.chemistry.electrolyte.dynamic_viscosity_pa_s.at(
+          config_.array_spec.inlet_temperature_k);
+
+  // The cache rail is the VRM output demand (constant across iterations:
+  // the caches run at their configured density).
+  const double rail_power = floorplan_.cache_power();
+
+  std::vector<std::vector<double>> group_profiles;  // empty = isothermal
+  double previous_peak = 0.0;
+  for (int it = 1; it <= config_.max_cosim_iterations; ++it) {
+    report.iterations = it;
+
+    report.thermal = thermal_model_->solve_steady(floorplan_, thermal_op);
+    group_profiles = group_channel_profiles(report.thermal.channel_fluid_axial_k);
+    report.supply = solve_supply(rail_power, group_profiles);
+
+    if (std::abs(report.thermal.peak_temperature_k - previous_peak) <
+        config_.temperature_tolerance_k) {
+      report.converged = true;
+      break;
+    }
+    previous_peak = report.thermal.peak_temperature_k;
+    // Power map is temperature-independent in this configuration, so the
+    // loop converges once the thermal field is self-consistent; a second
+    // iteration re-checks with identical inputs. (Throttling variants
+    // mutate the floorplan and genuinely iterate.)
+  }
+
+  report.peak_temperature_c =
+      ec::constants::kelvin_to_celsius(report.thermal.peak_temperature_k);
+  if (!report.thermal.channel_outlet_k.empty()) {
+    double sum = 0.0;
+    for (const double t : report.thermal.channel_outlet_k) {
+      sum += t;
+    }
+    report.mean_coolant_outlet_c = ec::constants::kelvin_to_celsius(
+        sum / static_cast<double>(report.thermal.channel_outlet_k.size()));
+  }
+
+  // Cache-rail IR-drop map (Fig. 8) with the calibrated tap grid.
+  const auto taps = pdn::make_vrm_grid(
+      config_.vrm_spec.count_x, config_.vrm_spec.count_y, floorplan_.die_width(),
+      floorplan_.die_height(), config_.vrm_spec.set_point_v,
+      config_.vrm_spec.output_resistance_ohm);
+  report.grid = power_grid_->solve(taps);
+
+  // Hydraulics + energy balance.
+  const auto hydraulics = array_->hydraulics_at_spec_flow();
+  report.mean_velocity_m_per_s = hydraulics.mean_velocity_m_per_s;
+  report.pressure_drop_bar = hydraulics.pressure_drop_pa / 1e5;
+  report.pressure_gradient_bar_per_cm = hydraulics.pressure_gradient_pa_per_m / 1e7;
+  report.pumping_power_w = hydraulics::pumping_power_w(
+      hydraulics.pressure_drop_pa, config_.array_spec.total_flow_m3_per_s,
+      config_.pump_efficiency);
+  report.net_power_w = report.supply.array_power_w - report.pumping_power_w;
+
+  // Temperature-sensitivity metric at the rail-equivalent potential.
+  const double probe_voltage = config_.vrm_spec.set_point_v;
+  report.isothermal_current_a = array_->current_at_voltage(probe_voltage);
+  report.coupled_current_a = array_current_with_profiles(probe_voltage, group_profiles);
+  report.thermal_current_gain =
+      (report.isothermal_current_a > 0.0)
+          ? report.coupled_current_a / report.isothermal_current_a - 1.0
+          : 0.0;
+  return report;
+}
+
+flowcell::PolarizationCurve IntegratedMpsocSystem::array_sweep_with_thermal_feedback(
+    double min_voltage_v, int point_count) const {
+  ensure(point_count >= 2, "sweep needs at least two points");
+  const CoSimReport report = run();
+  const auto group_profiles =
+      group_channel_profiles(report.thermal.channel_fluid_axial_k);
+
+  const double ocv = array_->open_circuit_voltage();
+  const double v_start = ocv - 1e-4;
+  const double electrode_area = config_.array_spec.geometry.projected_electrode_area_m2() *
+                                config_.array_spec.channel_count;
+  std::vector<flowcell::PolarizationPoint> points;
+  points.reserve(static_cast<std::size_t>(point_count));
+  for (int k = 0; k < point_count; ++k) {
+    const double v =
+        v_start + (min_voltage_v - v_start) * static_cast<double>(k) / (point_count - 1);
+    const double current = array_current_with_profiles(v, group_profiles);
+    points.push_back({v, current, current / electrode_area, current * v});
+  }
+  return flowcell::PolarizationCurve(std::move(points));
+}
+
+}  // namespace brightsi::core

@@ -1,0 +1,161 @@
+#include "core/mission.h"
+
+#include <cmath>
+#include <memory>
+
+#include "electrochem/constants.h"
+#include "flowcell/cell_array.h"
+#include "numerics/contracts.h"
+#include "numerics/root_finding.h"
+#include "pdn/vrm.h"
+#include "thermal/model.h"
+
+namespace brightsi::core {
+
+namespace ec = brightsi::electrochem;
+namespace fc = brightsi::flowcell;
+namespace th = brightsi::thermal;
+
+void MissionConfig::validate() const {
+  system.validate();
+  reservoir.validate();
+  ensure(initial_soc > 0.0 && initial_soc < 1.0, "initial SOC in (0, 1)");
+  ensure_positive(dt_s, "mission step");
+  ensure_positive(soc_rebuild_threshold, "SOC rebuild threshold");
+  ensure(workload.total_duration_s() > 0.0, "mission needs a workload");
+}
+
+namespace {
+
+/// Operating point of the array against a constant-power rail demand, with
+/// a simple 3-point axial temperature profile. Returns {V, I, ok}.
+struct BusPoint {
+  double voltage_v = 0.0;
+  double current_a = 0.0;
+  bool ok = false;
+};
+
+BusPoint solve_bus(const fc::FlowCellArray& array, const pdn::VrmSpec& vrm,
+                   double rail_power_w, double inlet_k, double outlet_k) {
+  const std::vector<double> profile = {inlet_k, (inlet_k + outlet_k) / 2.0, outlet_k};
+  const double input_power = rail_power_w / vrm.efficiency;
+  const double ocv = array.open_circuit_voltage();
+
+  auto surplus = [&](double v) {
+    return v * array.current_at_voltage(v, profile) - input_power;
+  };
+  BusPoint point;
+  const double v_hi = ocv - 1e-3;
+  if (v_hi <= 0.3) {
+    return point;  // reservoir effectively dead
+  }
+  if (surplus(v_hi) >= 0.0) {
+    point.voltage_v = v_hi;
+  } else {
+    double v_lo = 0.0;
+    for (double v = v_hi - 0.05; v >= 0.3; v -= 0.05) {
+      if (surplus(v) >= 0.0) {
+        v_lo = v;
+        break;
+      }
+    }
+    if (v_lo == 0.0) {
+      return point;  // demand exceeds capability
+    }
+    point.voltage_v =
+        numerics::find_root_brent(surplus, v_lo, v_hi, 1e-5, 1e-3 * input_power, 64).root;
+  }
+  point.current_a = array.current_at_voltage(point.voltage_v, profile);
+  point.ok = point.voltage_v >= vrm.min_input_voltage_v &&
+             point.voltage_v <= vrm.max_input_voltage_v;
+  return point;
+}
+
+}  // namespace
+
+MissionResult run_mission(const MissionConfig& config) {
+  config.validate();
+  const SystemConfig& sys = config.system;
+
+  // Thermal model shared across the mission.
+  const chip::Floorplan reference_floorplan = chip::make_power7_floorplan(sys.power_spec);
+  th::ThermalModel thermal(sys.stack, reference_floorplan.die_width(),
+                           reference_floorplan.die_height(), sys.thermal_grid);
+  th::OperatingPoint op;
+  op.total_flow_m3_per_s = sys.array_spec.total_flow_m3_per_s;
+  op.inlet_temperature_k = sys.array_spec.inlet_temperature_k;
+  op.coolant.thermal_conductivity_w_per_m_k =
+      sys.chemistry.electrolyte.thermal_conductivity_w_per_m_k;
+  op.coolant.volumetric_heat_capacity_j_per_m3_k =
+      sys.chemistry.electrolyte.volumetric_heat_capacity_j_per_m3_k;
+  op.coolant.density_kg_per_m3 =
+      sys.chemistry.electrolyte.density_kg_per_m3.at(op.inlet_temperature_k);
+  op.coolant.dynamic_viscosity_pa_s =
+      sys.chemistry.electrolyte.dynamic_viscosity_pa_s.at(op.inlet_temperature_k);
+
+  // Reservoir seeded with the system chemistry as the template.
+  ec::ReservoirSpec tank_spec = config.reservoir;
+  tank_spec.chemistry = sys.chemistry;
+  ec::ElectrolyteReservoir reservoir(tank_spec, config.initial_soc);
+
+  // Array rebuilt lazily as the SOC drifts.
+  double array_soc = reservoir.state_of_charge();
+  auto array = std::make_unique<fc::FlowCellArray>(sys.array_spec,
+                                                   reservoir.chemistry_at_soc(), sys.fvm);
+
+  MissionResult result;
+  auto state = thermal.uniform_state(op.inlet_temperature_k);
+  const int steps = static_cast<int>(config.workload.total_duration_s() / config.dt_s);
+  result.samples.reserve(static_cast<std::size_t>(steps));
+
+  for (int step = 0; step < steps; ++step) {
+    const double t = (step + 0.5) * config.dt_s;
+    const chip::WorkloadPhase& phase = config.workload.phase_at(t);
+    const chip::Floorplan floorplan = chip::apply_phase(sys.power_spec, phase);
+
+    const th::ThermalSolution sol = thermal.step_transient(state, floorplan, op, config.dt_s);
+    state = sol.temperature_k;
+    double outlet_mean = op.inlet_temperature_k;
+    if (!sol.channel_outlet_k.empty()) {
+      outlet_mean = 0.0;
+      for (const double v : sol.channel_outlet_k) {
+        outlet_mean += v;
+      }
+      outlet_mean /= static_cast<double>(sol.channel_outlet_k.size());
+    }
+
+    // Refresh the electrochemical model when the tanks drifted enough.
+    if (std::abs(reservoir.state_of_charge() - array_soc) > config.soc_rebuild_threshold) {
+      array_soc = reservoir.state_of_charge();
+      array = std::make_unique<fc::FlowCellArray>(sys.array_spec,
+                                                  reservoir.chemistry_at(array_soc), sys.fvm);
+    }
+
+    const BusPoint bus = solve_bus(*array, sys.vrm_spec, floorplan.cache_power(),
+                                   op.inlet_temperature_k, outlet_mean);
+    if (bus.ok) {
+      reservoir.discharge(bus.current_a, config.dt_s);
+      result.energy_delivered_j += bus.voltage_v * bus.current_a * config.dt_s;
+    } else {
+      result.supply_always_ok = false;
+    }
+
+    MissionSample sample;
+    sample.time_s = (step + 1) * config.dt_s;
+    sample.phase = phase.name;
+    sample.peak_temperature_c =
+        ec::constants::kelvin_to_celsius(sol.peak_temperature_k);
+    sample.mean_outlet_c = ec::constants::kelvin_to_celsius(outlet_mean);
+    sample.state_of_charge = reservoir.state_of_charge();
+    sample.bus_voltage_v = bus.voltage_v;
+    sample.bus_current_a = bus.current_a;
+    sample.supply_ok = bus.ok;
+    result.max_peak_temperature_c =
+        std::max(result.max_peak_temperature_c, sample.peak_temperature_c);
+    result.samples.push_back(std::move(sample));
+  }
+  result.final_soc = reservoir.state_of_charge();
+  return result;
+}
+
+}  // namespace brightsi::core

@@ -1,0 +1,65 @@
+// Mission simulation: the integrated system run through time.
+//
+// Couples every piece of the library: a WorkloadTrace drives the transient
+// thermal model; the coolant outlet temperature feeds the electrochemistry;
+// the cache rail draws its phase-dependent power from the flow-cell array
+// through the VRMs; and the electrolyte reservoir integrates the drawn
+// charge, so the state of charge (and with it the available OCV and
+// current) evolves over the mission. This answers the system-level
+// question behind the paper's flow-battery framing: for how long, and
+// under what workloads, can the electrolyte loop actually carry the rail?
+#ifndef BRIGHTSI_CORE_MISSION_H
+#define BRIGHTSI_CORE_MISSION_H
+
+#include <string>
+#include <vector>
+
+#include "chip/workload.h"
+#include "core/system_config.h"
+#include "electrochem/reservoir.h"
+
+namespace brightsi::core {
+
+/// Mission setup.
+struct MissionConfig {
+  SystemConfig system;                   ///< the integrated platform
+  chip::WorkloadTrace workload;          ///< phases to run through
+  electrochem::ReservoirSpec reservoir;  ///< tank sizing (chemistry ignored;
+                                         ///< the system chemistry is used)
+  double initial_soc = 0.95;
+  double dt_s = 0.1;                     ///< transient step
+  /// SOC resolution for rebuilding the electrochemical model (the array is
+  /// re-instantiated when the SOC moved by more than this).
+  double soc_rebuild_threshold = 0.02;
+
+  void validate() const;
+};
+
+/// One recorded step.
+struct MissionSample {
+  double time_s = 0.0;
+  std::string phase;
+  double peak_temperature_c = 0.0;
+  double mean_outlet_c = 0.0;
+  double state_of_charge = 0.0;
+  double bus_voltage_v = 0.0;
+  double bus_current_a = 0.0;
+  bool supply_ok = false;  ///< rail demand met within the VRM window
+};
+
+/// Whole-mission outcome.
+struct MissionResult {
+  std::vector<MissionSample> samples;
+  double final_soc = 0.0;
+  double max_peak_temperature_c = 0.0;
+  bool supply_always_ok = true;
+  double energy_delivered_j = 0.0;  ///< bus-side integral of V*I dt
+};
+
+/// Runs the mission. Throws only on configuration errors; supply
+/// infeasibility is reported per sample, not thrown.
+[[nodiscard]] MissionResult run_mission(const MissionConfig& config);
+
+}  // namespace brightsi::core
+
+#endif  // BRIGHTSI_CORE_MISSION_H

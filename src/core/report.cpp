@@ -1,0 +1,158 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "numerics/contracts.h"
+
+namespace brightsi::core {
+namespace {
+
+// Shade ramp from cold to hot.
+constexpr const char* kShades = " .:-=+*#%@";
+constexpr int kShadeCount = 10;
+
+}  // namespace
+
+numerics::Grid2<double> downsample(const numerics::Grid2<double>& field, int max_cols,
+                                   int max_rows) {
+  ensure(max_cols > 0 && max_rows > 0, "downsample target must be positive");
+  const int nx = std::min(field.nx(), max_cols);
+  const int ny = std::min(field.ny(), max_rows);
+  numerics::Grid2<double> out(nx, ny, 0.0);
+  numerics::Grid2<int> counts(nx, ny, 0);
+  for (int iy = 0; iy < field.ny(); ++iy) {
+    for (int ix = 0; ix < field.nx(); ++ix) {
+      const int ox = std::min(nx - 1, ix * nx / field.nx());
+      const int oy = std::min(ny - 1, iy * ny / field.ny());
+      out(ox, oy) += field(ix, iy);
+      counts(ox, oy) += 1;
+    }
+  }
+  for (int iy = 0; iy < ny; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      if (counts(ix, iy) > 0) {
+        out(ix, iy) /= counts(ix, iy);
+      }
+    }
+  }
+  return out;
+}
+
+void print_ascii_map(std::ostream& os, const numerics::Grid2<double>& field,
+                     const std::string& title, const std::string& unit, int max_cols,
+                     int max_rows) {
+  const numerics::Grid2<double> map = downsample(field, max_cols, max_rows);
+  double lo = map(0, 0);
+  double hi = map(0, 0);
+  for (const double v : map.data()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  os << title << "  [" << TextTable::num(lo) << " " << unit << " = ' ' ... "
+     << TextTable::num(hi) << " " << unit << " = '@']\n";
+  const double span = (hi > lo) ? hi - lo : 1.0;
+  for (int iy = map.ny() - 1; iy >= 0; --iy) {
+    os << "  ";
+    for (int ix = 0; ix < map.nx(); ++ix) {
+      const int shade = std::clamp(
+          static_cast<int>((map(ix, iy) - lo) / span * (kShadeCount - 1) + 0.5), 0,
+          kShadeCount - 1);
+      os << kShades[shade];
+    }
+    os << "\n";
+  }
+}
+
+void write_field_csv(std::ostream& os, const numerics::Grid2<double>& field, double width_m,
+                     double height_m) {
+  os << "x_mm,y_mm,value\n";
+  for (int iy = 0; iy < field.ny(); ++iy) {
+    for (int ix = 0; ix < field.nx(); ++ix) {
+      const double x = (ix + 0.5) * width_m / field.nx() * 1e3;
+      const double y = (iy + 0.5) * height_m / field.ny() * 1e3;
+      os << x << "," << y << "," << field(ix, iy) << "\n";
+    }
+  }
+}
+
+void write_series_csv(std::ostream& os, const std::vector<std::string>& headers,
+                      const std::vector<std::vector<double>>& columns) {
+  ensure(!columns.empty() && headers.size() == columns.size(),
+         "write_series_csv: header/column mismatch");
+  const std::size_t rows = columns.front().size();
+  for (const auto& column : columns) {
+    ensure(column.size() == rows, "write_series_csv: ragged columns");
+  }
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    os << headers[i] << (i + 1 < headers.size() ? "," : "\n");
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      os << columns[c][r] << (c + 1 < columns.size() ? "," : "\n");
+    }
+  }
+}
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  ensure(cells.size() == headers_.size(), "TextTable row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "  ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cells[c];
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += std::string(widths[c], '-') + "  ";
+  }
+  os << "  " << rule << "\n";
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string TextTable::num(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+std::string write_results_file(const std::string& name,
+                               const std::function<void(std::ostream&)>& writer) {
+  ensure(!name.empty() && name.find("..") == std::string::npos,
+         "results file name must be a plain relative name");
+  try {
+    std::filesystem::create_directories("results");
+    const std::string path = "results/" + name;
+    std::ofstream out(path);
+    if (!out) {
+      return {};
+    }
+    writer(out);
+    return path;
+  } catch (const std::filesystem::filesystem_error&) {
+    return {};
+  }
+}
+
+}  // namespace brightsi::core

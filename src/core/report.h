@@ -1,0 +1,60 @@
+// Plain-text reporting helpers shared by the benches and examples:
+// fixed-width tables, coarse ASCII heat/voltage maps and CSV emitters for
+// the figures the paper plots.
+#ifndef BRIGHTSI_CORE_REPORT_H
+#define BRIGHTSI_CORE_REPORT_H
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "numerics/grid.h"
+
+namespace brightsi::core {
+
+/// Renders `field` as a coarse ASCII map (down-sampled to at most
+/// `max_cols` x `max_rows`), annotated with the value range. Row 0 of the
+/// grid prints at the bottom (die coordinates). `unit` labels the legend.
+void print_ascii_map(std::ostream& os, const numerics::Grid2<double>& field,
+                     const std::string& title, const std::string& unit, int max_cols = 64,
+                     int max_rows = 24);
+
+/// Down-samples a field by box-averaging into an at-most max_cols x
+/// max_rows grid (used by print_ascii_map; exposed for CSV emitters).
+[[nodiscard]] numerics::Grid2<double> downsample(const numerics::Grid2<double>& field,
+                                                 int max_cols, int max_rows);
+
+/// Writes an (x, y, value) CSV of a field with physical coordinates.
+void write_field_csv(std::ostream& os, const numerics::Grid2<double>& field, double width_m,
+                     double height_m);
+
+/// Writes series columns: header then rows.
+void write_series_csv(std::ostream& os, const std::vector<std::string>& headers,
+                      const std::vector<std::vector<double>>& columns);
+
+/// Writes a results artifact to `results/<name>` (creating the directory
+/// next to the working directory), using `writer` to produce the content.
+/// Returns the path written, or an empty string if the filesystem refused
+/// (benches treat artifacts as best-effort).
+std::string write_results_file(const std::string& name,
+                               const std::function<void(std::ostream&)>& writer);
+
+/// A minimal fixed-width table printer.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  /// Formats a double with `precision` significant decimals.
+  [[nodiscard]] static std::string num(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace brightsi::core
+
+#endif  // BRIGHTSI_CORE_REPORT_H

@@ -1,0 +1,35 @@
+#include "core/system_config.h"
+
+#include "electrochem/vanadium.h"
+#include "numerics/contracts.h"
+
+namespace brightsi::core {
+
+void SystemConfig::validate() const {
+  array_spec.validate();
+  chemistry.validate();
+  fvm.validate();
+  stack.validate();
+  grid_spec.validate();
+  vrm_spec.validate();
+  ensure(pump_efficiency > 0.0 && pump_efficiency <= 1.0, "pump efficiency in (0, 1]");
+  ensure(channel_groups > 0, "channel_groups must be positive");
+  ensure(array_spec.channel_count % channel_groups == 0,
+         "channel count must divide evenly into groups");
+  ensure(max_cosim_iterations >= 1, "max_cosim_iterations");
+  ensure_positive(temperature_tolerance_k, "temperature tolerance");
+}
+
+SystemConfig power7_system_config() {
+  SystemConfig config;
+  config.power_spec = chip::Power7PowerSpec{};
+  config.array_spec = flowcell::power7_array_spec();
+  config.chemistry = electrochem::power7_array_chemistry();
+  config.stack = thermal::power7_microchannel_stack();
+  config.grid_spec = pdn::PowerGridSpec{};
+  config.vrm_spec = pdn::VrmSpec{};
+  config.validate();
+  return config;
+}
+
+}  // namespace brightsi::core

@@ -1,0 +1,47 @@
+// Configuration of the full integrated system: MPSoC + microfluidic
+// fuel-cell array + in-package VRMs + power grid + thermal package.
+#ifndef BRIGHTSI_CORE_SYSTEM_CONFIG_H
+#define BRIGHTSI_CORE_SYSTEM_CONFIG_H
+
+#include "chip/power7.h"
+#include "electrochem/species.h"
+#include "flowcell/cell_array.h"
+#include "pdn/power_grid.h"
+#include "pdn/vrm.h"
+#include "thermal/model.h"
+#include "thermal/stack.h"
+
+namespace brightsi::core {
+
+/// Everything needed to instantiate an IntegratedMpsocSystem. Obtain the
+/// paper's case study from `power7_system_config()` and tweak from there.
+struct SystemConfig {
+  chip::Power7PowerSpec power_spec;
+  flowcell::ArraySpec array_spec;
+  electrochem::FlowCellChemistry chemistry;
+  flowcell::FvmSettings fvm;
+  thermal::StackSpec stack;
+  thermal::ThermalGridSettings thermal_grid;
+  pdn::PowerGridSpec grid_spec;
+  pdn::VrmSpec vrm_spec;
+
+  double pump_efficiency = 0.5;  ///< paper Section III-B
+
+  /// Channels grouped for the non-isothermal array evaluation: channels in
+  /// a group share one (averaged) axial temperature profile. 88 must be
+  /// divisible by this.
+  int channel_groups = 8;
+
+  int max_cosim_iterations = 8;
+  double temperature_tolerance_k = 0.05;
+
+  void validate() const;
+};
+
+/// The paper's case study: POWER7+ floorplan at full load, Table II array
+/// at 676 ml/min / 300 K, Fig. 8 PDN calibration, 50 % pump.
+[[nodiscard]] SystemConfig power7_system_config();
+
+}  // namespace brightsi::core
+
+#endif  // BRIGHTSI_CORE_SYSTEM_CONFIG_H

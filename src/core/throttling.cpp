@@ -1,0 +1,87 @@
+#include "core/throttling.h"
+
+#include <cmath>
+
+#include "electrochem/constants.h"
+#include "numerics/contracts.h"
+
+namespace brightsi::core {
+namespace {
+
+struct Evaluation {
+  double peak_c = 0.0;
+  double min_rail_v = 0.0;
+  bool feasible = false;
+};
+
+Evaluation evaluate_activity(const ThrottleEnvironment& env,
+                             const ThrottleConstraints& constraints, double activity) {
+  chip::Power7PowerSpec spec = env.power_spec;
+  spec.core_w_per_cm2 *= activity;
+  const chip::Floorplan floorplan = chip::make_power7_floorplan(spec);
+
+  Evaluation eval;
+  const thermal::ThermalSolution thermal =
+      env.thermal_model->solve_steady(floorplan, env.thermal_op);
+  eval.peak_c = electrochem::constants::kelvin_to_celsius(thermal.peak_temperature_k);
+
+  pdn::PowerGrid grid(*env.grid_spec, floorplan,
+                      env.rail_filter ? env.rail_filter
+                                      : [](const chip::Block&) { return true; });
+  const pdn::PowerGridSolution rail = grid.solve(env.taps);
+  eval.min_rail_v = rail.min_voltage_v;
+
+  eval.feasible = eval.peak_c <= constraints.max_junction_c &&
+                  eval.min_rail_v >= constraints.min_rail_voltage_v;
+  return eval;
+}
+
+}  // namespace
+
+ThrottleResult find_max_core_activity(const ThrottleEnvironment& env,
+                                      const ThrottleConstraints& constraints,
+                                      double activity_tolerance) {
+  ensure(env.thermal_model != nullptr, "throttle environment needs a thermal model");
+  ensure(env.grid_spec != nullptr, "throttle environment needs a grid spec");
+  ensure(!env.taps.empty(), "throttle environment needs supply taps");
+  ensure_positive(activity_tolerance, "activity tolerance");
+
+  ThrottleResult result;
+
+  Evaluation at_full = evaluate_activity(env, constraints, 1.0);
+  if (at_full.feasible) {
+    result.max_activity = 1.0;
+    result.peak_temperature_c = at_full.peak_c;
+    result.min_rail_voltage_v = at_full.min_rail_v;
+  } else {
+    double lo = 0.0;
+    double hi = 1.0;
+    Evaluation at_best{};
+    while (hi - lo > activity_tolerance) {
+      const double mid = 0.5 * (lo + hi);
+      const Evaluation eval = evaluate_activity(env, constraints, mid);
+      if (eval.feasible) {
+        lo = mid;
+        at_best = eval;
+      } else {
+        hi = mid;
+      }
+    }
+    result.max_activity = lo;
+    result.peak_temperature_c = at_best.peak_c;
+    result.min_rail_voltage_v = at_best.min_rail_v;
+  }
+
+  // Identify the binding constraint just above the boundary.
+  const Evaluation above =
+      evaluate_activity(env, constraints, std::min(1.0, result.max_activity + 2 * activity_tolerance));
+  result.thermally_limited = above.peak_c > constraints.max_junction_c;
+  result.voltage_limited = above.min_rail_v < constraints.min_rail_voltage_v;
+
+  chip::Power7PowerSpec spec = env.power_spec;
+  spec.core_w_per_cm2 *= result.max_activity;
+  result.bright_power_w = chip::make_power7_floorplan(spec).total_power();
+  return result;
+}
+
+}  // namespace brightsi::core

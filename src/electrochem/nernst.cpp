@@ -1,0 +1,35 @@
+#include "electrochem/nernst.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "electrochem/constants.h"
+#include "numerics/contracts.h"
+
+namespace brightsi::electrochem {
+
+double nernst_potential(const RedoxCouple& couple, double oxidized_concentration_mol_per_m3,
+                        double reduced_concentration_mol_per_m3, double temperature_k) {
+  ensure_positive(temperature_k, "nernst_potential temperature");
+  ensure_non_negative(oxidized_concentration_mol_per_m3, "oxidized concentration");
+  ensure_non_negative(reduced_concentration_mol_per_m3, "reduced concentration");
+  const double c_ox = std::max(oxidized_concentration_mol_per_m3, kConcentrationFloorMolPerM3);
+  const double c_red = std::max(reduced_concentration_mol_per_m3, kConcentrationFloorMolPerM3);
+  const double rt_over_nf =
+      constants::rt_over_f(temperature_k) / static_cast<double>(couple.electrons);
+  return couple.standard_potential_v + rt_over_nf * std::log(c_ox / c_red);
+}
+
+double open_circuit_voltage(const FlowCellChemistry& chemistry, double temperature_k) {
+  const double e_neg = nernst_potential(chemistry.anode.couple,
+                                        chemistry.anode.oxidized_inlet_concentration_mol_per_m3,
+                                        chemistry.anode.reduced_inlet_concentration_mol_per_m3,
+                                        temperature_k);
+  const double e_pos = nernst_potential(chemistry.cathode.couple,
+                                        chemistry.cathode.oxidized_inlet_concentration_mol_per_m3,
+                                        chemistry.cathode.reduced_inlet_concentration_mol_per_m3,
+                                        temperature_k);
+  return e_pos - e_neg;
+}
+
+}  // namespace brightsi::electrochem

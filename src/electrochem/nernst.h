@@ -1,0 +1,30 @@
+// Nernst equilibrium potentials (paper eqs. 4–5) and open-circuit voltage.
+#ifndef BRIGHTSI_ELECTROCHEM_NERNST_H
+#define BRIGHTSI_ELECTROCHEM_NERNST_H
+
+#include "electrochem/species.h"
+
+namespace brightsi::electrochem {
+
+/// Concentration floor used when evaluating Nernst terms near full depletion
+/// of one redox form. The logarithm diverges at zero concentration; the
+/// physical cell never reaches exactly zero surface concentration because
+/// the current collapses first, so a small positive floor (1e-6 mol/m3 ~
+/// 1 nanomolar) keeps the algebra well-posed without affecting results.
+inline constexpr double kConcentrationFloorMolPerM3 = 1e-6;
+
+/// Equilibrium potential E = E0 + (RT / nF) ln(C_ox / C_red), eqs. (4)-(5).
+/// Concentrations are clamped to kConcentrationFloorMolPerM3.
+[[nodiscard]] double nernst_potential(const RedoxCouple& couple,
+                                      double oxidized_concentration_mol_per_m3,
+                                      double reduced_concentration_mol_per_m3,
+                                      double temperature_k);
+
+/// Open-circuit voltage of a full cell at the given *bulk* compositions:
+/// U = E_pos - E_neg with both electrodes at `temperature_k`.
+[[nodiscard]] double open_circuit_voltage(const FlowCellChemistry& chemistry,
+                                          double temperature_k);
+
+}  // namespace brightsi::electrochem
+
+#endif  // BRIGHTSI_ELECTROCHEM_NERNST_H

@@ -1,0 +1,81 @@
+#include "electrochem/reservoir.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "electrochem/constants.h"
+#include "electrochem/nernst.h"
+#include "numerics/contracts.h"
+
+namespace brightsi::electrochem {
+
+void ReservoirSpec::validate() const {
+  ensure_positive(tank_volume_m3, "tank volume");
+  ensure_positive(total_vanadium_mol_per_m3, "total vanadium concentration");
+  chemistry.validate();
+}
+
+double ReservoirSpec::capacity_coulomb() const {
+  return constants::faraday_c_per_mol * total_vanadium_mol_per_m3 * tank_volume_m3;
+}
+
+ElectrolyteReservoir::ElectrolyteReservoir(ReservoirSpec spec, double initial_soc)
+    : spec_(std::move(spec)), soc_(initial_soc) {
+  spec_.validate();
+  ensure(initial_soc >= 0.001 && initial_soc <= 0.999,
+         "initial SOC must lie in [0.001, 0.999]");
+}
+
+FlowCellChemistry ElectrolyteReservoir::chemistry_at(double soc) const {
+  ensure(soc >= 0.0 && soc <= 1.0, "SOC must lie in [0, 1]");
+  FlowCellChemistry c = spec_.chemistry;
+  const double charged = std::max(soc, 1e-4) * spec_.total_vanadium_mol_per_m3;
+  const double discharged =
+      std::max(1.0 - soc, 1e-4) * spec_.total_vanadium_mol_per_m3;
+  // Anolyte: charged form is the reduced V2+; catholyte: charged is VO2+.
+  c.anode.reduced_inlet_concentration_mol_per_m3 = charged;
+  c.anode.oxidized_inlet_concentration_mol_per_m3 = discharged;
+  c.cathode.oxidized_inlet_concentration_mol_per_m3 = charged;
+  c.cathode.reduced_inlet_concentration_mol_per_m3 = discharged;
+  return c;
+}
+
+FlowCellChemistry ElectrolyteReservoir::chemistry_at_soc() const { return chemistry_at(soc_); }
+
+double ElectrolyteReservoir::discharge(double current_a, double seconds,
+                                       double crossover_current_a) {
+  ensure_non_negative(seconds, "discharge duration");
+  ensure_non_negative(crossover_current_a, "crossover current");
+  const double net = current_a + crossover_current_a;
+  const double delta = net * seconds / spec_.capacity_coulomb();
+  soc_ = std::clamp(soc_ - delta, 0.0, 1.0);
+  return soc_;
+}
+
+double ElectrolyteReservoir::runtime_to_floor_s(double current_a, double soc_floor,
+                                                double crossover_current_a) const {
+  ensure(soc_floor >= 0.0 && soc_floor < soc_, "SOC floor must be below the current SOC");
+  const double net = current_a + crossover_current_a;
+  if (net <= 0.0) {
+    throw std::invalid_argument("runtime_to_floor_s: net discharge current must be positive");
+  }
+  return (soc_ - soc_floor) * spec_.capacity_coulomb() / net;
+}
+
+double ElectrolyteReservoir::ideal_energy_to_floor_j(double soc_floor, double temperature_k,
+                                                     int quadrature_steps) const {
+  ensure(soc_floor >= 0.0 && soc_floor < soc_, "SOC floor must be below the current SOC");
+  ensure(quadrature_steps >= 2, "need at least two quadrature steps");
+  // E = integral_{floor}^{soc} U(s) * Q_cap ds, midpoint rule.
+  const double span = soc_ - soc_floor;
+  const double ds = span / quadrature_steps;
+  double energy = 0.0;
+  for (int i = 0; i < quadrature_steps; ++i) {
+    const double s = soc_floor + (i + 0.5) * ds;
+    energy += open_circuit_voltage(chemistry_at(s), temperature_k) * ds;
+  }
+  return energy * spec_.capacity_coulomb();
+}
+
+}  // namespace brightsi::electrochem

@@ -1,0 +1,75 @@
+// Electrolyte reservoir and state-of-charge (SOC) model.
+//
+// Section II of the paper: "Redox flow cells are a type of secondary
+// battery which stores energy in the electrolytes instead of the
+// electrodes. The independent dimensioning of energy storage capacity
+// (size of electrolyte reservoir) and power density (design of the
+// electrochemical cell)..." — this module is that independent dimension.
+//
+// The reservoir tracks the vanadium composition of both tanks as charge is
+// drawn (or replenished), exposes the chemistry at any SOC so the channel
+// models can be evaluated across the discharge, and answers the system
+// questions: how much energy is stored, how long can a load run, how fast
+// does crossover self-discharge drift the tanks.
+#ifndef BRIGHTSI_ELECTROCHEM_RESERVOIR_H
+#define BRIGHTSI_ELECTROCHEM_RESERVOIR_H
+
+#include "electrochem/species.h"
+
+namespace brightsi::electrochem {
+
+/// Sizing of the two electrolyte tanks (symmetric).
+struct ReservoirSpec {
+  double tank_volume_m3 = 1e-3;                 ///< per side (1 liter default)
+  double total_vanadium_mol_per_m3 = 2000.0;    ///< C_V2+C_V3 (= C_V4+C_V5)
+  /// Template chemistry providing couples, kinetics and electrolyte
+  /// properties; inlet concentrations are overridden by the SOC.
+  FlowCellChemistry chemistry;
+
+  void validate() const;
+
+  /// Faradaic capacity of one side in coulombs: F * C_total * V_tank.
+  [[nodiscard]] double capacity_coulomb() const;
+  /// Capacity in ampere-hours.
+  [[nodiscard]] double capacity_ah() const { return capacity_coulomb() / 3600.0; }
+};
+
+/// Mutable reservoir state.
+class ElectrolyteReservoir {
+ public:
+  /// Starts at `initial_soc` (fraction of charged species, in [0.001, 0.999]).
+  ElectrolyteReservoir(ReservoirSpec spec, double initial_soc = 0.95);
+
+  [[nodiscard]] double state_of_charge() const { return soc_; }
+  [[nodiscard]] const ReservoirSpec& spec() const { return spec_; }
+
+  /// Chemistry with inlet concentrations at the current SOC: anolyte
+  /// {C_red = s*C, C_ox = (1-s)*C}, catholyte {C_ox = s*C, C_red = (1-s)*C}.
+  [[nodiscard]] FlowCellChemistry chemistry_at_soc() const;
+  /// Same at an arbitrary SOC (for sweeps without mutating the state).
+  [[nodiscard]] FlowCellChemistry chemistry_at(double soc) const;
+
+  /// Draws `current_a` for `seconds` (discharge when positive; charging
+  /// when negative). Crossover/self-discharge current can be added on top.
+  /// SOC clamps at [0, 1]; returns the SOC actually reached.
+  double discharge(double current_a, double seconds, double crossover_current_a = 0.0);
+
+  /// Seconds until the SOC hits `soc_floor` at a constant discharge
+  /// current (plus crossover). Throws when the net current is not positive.
+  [[nodiscard]] double runtime_to_floor_s(double current_a, double soc_floor,
+                                          double crossover_current_a = 0.0) const;
+
+  /// Ideal (Nernst, no overpotentials) stored electrical energy between
+  /// the current SOC and `soc_floor`, in joules: integral of OCV(s) dQ.
+  [[nodiscard]] double ideal_energy_to_floor_j(double soc_floor,
+                                               double temperature_k = 300.0,
+                                               int quadrature_steps = 64) const;
+
+ private:
+  ReservoirSpec spec_;
+  double soc_;
+};
+
+}  // namespace brightsi::electrochem
+
+#endif  // BRIGHTSI_ELECTROCHEM_RESERVOIR_H

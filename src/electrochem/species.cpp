@@ -1,0 +1,38 @@
+#include "electrochem/species.h"
+
+#include "numerics/contracts.h"
+
+namespace brightsi::electrochem {
+
+void ElectrolyteProperties::validate() const {
+  ensure_positive(density_kg_per_m3.reference_value, "electrolyte density");
+  ensure_positive(dynamic_viscosity_pa_s.reference_value_pa_s, "electrolyte viscosity");
+  ensure_positive(ionic_conductivity_s_per_m.reference_value, "electrolyte conductivity");
+  ensure_positive(thermal_conductivity_w_per_m_k, "electrolyte thermal conductivity");
+  ensure_positive(volumetric_heat_capacity_j_per_m3_k, "electrolyte heat capacity");
+}
+
+void HalfCellSpec::validate() const {
+  ensure(!couple.name.empty(), "redox couple must be named");
+  ensure(couple.electrons >= 1, "redox couple must transfer at least one electron");
+  ensure(couple.anodic_transfer_coefficient > 0.0 && couple.anodic_transfer_coefficient < 1.0,
+         "transfer coefficient must lie in (0, 1)");
+  ensure_non_negative(oxidized_inlet_concentration_mol_per_m3, "oxidized inlet concentration");
+  ensure_non_negative(reduced_inlet_concentration_mol_per_m3, "reduced inlet concentration");
+  ensure(oxidized_inlet_concentration_mol_per_m3 > 0.0 ||
+             reduced_inlet_concentration_mol_per_m3 > 0.0,
+         "at least one redox form must be present at the inlet");
+  ensure_positive(kinetic_rate_m_per_s.reference_value, "kinetic rate constant k0");
+  ensure_positive(diffusivity_m2_per_s.reference_value, "diffusion coefficient D");
+}
+
+void FlowCellChemistry::validate() const {
+  anode.validate();
+  cathode.validate();
+  electrolyte.validate();
+  ensure(cathode.couple.standard_potential_v > anode.couple.standard_potential_v,
+         "cathode standard potential must exceed anode standard potential "
+         "(otherwise the cell cannot discharge)");
+}
+
+}  // namespace brightsi::electrochem

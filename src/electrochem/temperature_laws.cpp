@@ -1,0 +1,31 @@
+#include "electrochem/temperature_laws.h"
+
+#include <cmath>
+
+#include "electrochem/constants.h"
+#include "numerics/contracts.h"
+
+namespace brightsi::electrochem {
+
+double ArrheniusLaw::at(double temperature_k) const {
+  ensure_positive(temperature_k, "ArrheniusLaw temperature");
+  const double r = constants::gas_constant_j_per_mol_k;
+  return reference_value *
+         std::exp(-(activation_energy_j_per_mol / r) *
+                  (1.0 / temperature_k - 1.0 / reference_temperature_k));
+}
+
+double ViscosityLaw::at(double temperature_k) const {
+  ensure_positive(temperature_k, "ViscosityLaw temperature");
+  const double r = constants::gas_constant_j_per_mol_k;
+  return reference_value_pa_s *
+         std::exp(+(activation_energy_j_per_mol / r) *
+                  (1.0 / temperature_k - 1.0 / reference_temperature_k));
+}
+
+double LinearLaw::at(double temperature_k) const {
+  ensure_positive(temperature_k, "LinearLaw temperature");
+  return reference_value * (1.0 + coefficient_per_k * (temperature_k - reference_temperature_k));
+}
+
+}  // namespace brightsi::electrochem

@@ -1,0 +1,18 @@
+#include "flowcell/channel_model.h"
+
+#include "flowcell/colaminar_fvm.h"
+#include "flowcell/film_model.h"
+
+namespace brightsi::flowcell {
+
+std::unique_ptr<ChannelModel> make_channel_model(const CellGeometry& geometry,
+                                                 const electrochem::FlowCellChemistry& chemistry,
+                                                 const FvmSettings& settings) {
+  geometry.validate();
+  if (geometry.electrode_mode == ElectrodeMode::kFlowThrough) {
+    return std::make_unique<FilmChannelModel>(geometry, chemistry, settings.axial_steps);
+  }
+  return std::make_unique<ColaminarChannelModel>(geometry, chemistry, settings);
+}
+
+}  // namespace brightsi::flowcell

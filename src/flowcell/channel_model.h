@@ -1,0 +1,37 @@
+// Abstract interface of a single-channel flow-cell model plus the factory
+// that picks the right implementation for a geometry:
+//   * kPlanarWall  -> ColaminarChannelModel (depth-averaged marching FVM)
+//   * kFlowThrough -> FilmChannelModel (plug streams through porous
+//                     electrodes; boundary layers do not apply)
+#ifndef BRIGHTSI_FLOWCELL_CHANNEL_MODEL_H
+#define BRIGHTSI_FLOWCELL_CHANNEL_MODEL_H
+
+#include <memory>
+
+#include "electrochem/species.h"
+#include "flowcell/channel_solution.h"
+#include "flowcell/channel_spec.h"
+
+namespace brightsi::flowcell {
+
+/// Interface shared by the transport models.
+class ChannelModel {
+ public:
+  virtual ~ChannelModel() = default;
+
+  [[nodiscard]] virtual ChannelSolution solve_at_voltage(
+      double cell_voltage_v, const ChannelOperatingConditions& conditions) const = 0;
+  [[nodiscard]] virtual double open_circuit_voltage(
+      const ChannelOperatingConditions& conditions) const = 0;
+  [[nodiscard]] virtual const CellGeometry& geometry() const = 0;
+  [[nodiscard]] virtual const electrochem::FlowCellChemistry& chemistry() const = 0;
+};
+
+/// Builds the model matching `geometry.electrode_mode`.
+[[nodiscard]] std::unique_ptr<ChannelModel> make_channel_model(
+    const CellGeometry& geometry, const electrochem::FlowCellChemistry& chemistry,
+    const FvmSettings& settings = {});
+
+}  // namespace brightsi::flowcell
+
+#endif  // BRIGHTSI_FLOWCELL_CHANNEL_MODEL_H

@@ -1,0 +1,47 @@
+// Species indexing and the per-solve result record shared by all channel
+// transport models.
+#ifndef BRIGHTSI_FLOWCELL_CHANNEL_SOLUTION_H
+#define BRIGHTSI_FLOWCELL_CHANNEL_SOLUTION_H
+
+#include <array>
+#include <vector>
+
+namespace brightsi::flowcell {
+
+/// Transported species indices.
+enum Species : int {
+  kAnodeReduced = 0,    ///< V2+  (fuel)
+  kAnodeOxidized = 1,   ///< V3+
+  kCathodeOxidized = 2, ///< VO2+ (V^V, oxidant)
+  kCathodeReduced = 3,  ///< VO^2+ (V^IV)
+};
+inline constexpr int kSpeciesCount = 4;
+
+/// Solution of one channel at one cell voltage.
+struct ChannelSolution {
+  double cell_voltage_v = 0.0;
+  double current_a = 0.0;            ///< external (collected) current
+  double power_w = 0.0;              ///< V * I
+  double mean_current_density_a_per_m2 = 0.0;  ///< I / projected electrode area
+
+  std::vector<double> axial_position_m;                 ///< station centers
+  std::vector<double> axial_current_density_a_per_m2;   ///< external, per station
+
+  /// Charge lost to interfacial annihilation + parasitic electrode
+  /// self-discharge, expressed as a current (A).
+  double crossover_current_a = 0.0;
+  /// Fraction of the inlet fuel (V2+) molar flow converted in the channel.
+  double fuel_utilization = 0.0;
+  /// Relative error of total-vanadium molar flow between inlet and outlet
+  /// (conservation diagnostic; should be at rounding level).
+  double vanadium_balance_error = 0.0;
+  /// Outlet concentration profile per species (transverse cells, mol/m^3).
+  /// Only filled by models that resolve the transverse direction.
+  std::array<std::vector<double>, kSpeciesCount> outlet_concentration_mol_per_m3;
+  /// Fraction of stations pinned at a transport/mass bracket.
+  double clamped_station_fraction = 0.0;
+};
+
+}  // namespace brightsi::flowcell
+
+#endif  // BRIGHTSI_FLOWCELL_CHANNEL_SOLUTION_H

@@ -1,0 +1,314 @@
+#include "flowcell/colaminar_fvm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "electrochem/butler_volmer.h"
+#include "electrochem/constants.h"
+#include "electrochem/nernst.h"
+#include "flowcell/wall_closure.h"
+#include "numerics/contracts.h"
+#include "numerics/tridiagonal.h"
+
+namespace brightsi::flowcell {
+namespace {
+
+namespace ec = brightsi::electrochem;
+
+/// Applies the three pairwise comproportionation reactions of crossover
+/// vanadium species (instantaneous, diffusion-limited):
+///   V2+ + V^V  -> V3+ + V^IV
+///   V2+ + V^IV -> 2 V3+
+///   V3+ + V^V  -> 2 V^IV
+/// Returns the moles/m^3 of electron-equivalents annihilated in this cell
+/// (the first two reactions consume fuel-side charge, the third oxidant-side;
+/// each 1:1 event destroys one electron of capacity).
+double annihilate(std::array<double, kSpeciesCount>& c) {
+  double equivalents = 0.0;
+  // V2+ + V^V
+  {
+    const double r = std::min(c[kAnodeReduced], c[kCathodeOxidized]);
+    c[kAnodeReduced] -= r;
+    c[kCathodeOxidized] -= r;
+    c[kAnodeOxidized] += r;
+    c[kCathodeReduced] += r;
+    equivalents += 2.0 * r;  // both a fuel and an oxidant electron vanish
+  }
+  // V2+ + V^IV -> 2 V3+
+  {
+    const double r = std::min(c[kAnodeReduced], c[kCathodeReduced]);
+    c[kAnodeReduced] -= r;
+    c[kCathodeReduced] -= r;
+    c[kAnodeOxidized] += 2.0 * r;
+    equivalents += r;
+  }
+  // V3+ + V^V -> 2 V^IV
+  {
+    const double r = std::min(c[kAnodeOxidized], c[kCathodeOxidized]);
+    c[kAnodeOxidized] -= r;
+    c[kCathodeOxidized] -= r;
+    c[kCathodeReduced] += 2.0 * r;
+    equivalents += r;
+  }
+  return equivalents;
+}
+
+}  // namespace
+
+ColaminarChannelModel::ColaminarChannelModel(CellGeometry geometry,
+                                             electrochem::FlowCellChemistry chemistry,
+                                             FvmSettings settings)
+    : geometry_(geometry), chemistry_(std::move(chemistry)), settings_(settings) {
+  geometry_.validate();
+  ensure(geometry_.electrode_mode == ElectrodeMode::kPlanarWall,
+         "ColaminarChannelModel handles planar-wall electrodes; use "
+         "make_channel_model for flow-through geometries");
+  chemistry_.validate();
+  settings_.validate();
+  build_velocity_shape();
+}
+
+void ColaminarChannelModel::build_velocity_shape() {
+  const int ny = settings_.transverse_cells;
+  const double gap = geometry_.electrode_gap_m;
+  const double dy = gap / ny;
+  const hydraulics::RectangularDuct duct = geometry_.duct();
+  const hydraulics::DuctVelocityProfile profile(duct);
+
+  velocity_shape_.resize(static_cast<std::size_t>(ny));
+  double mean = 0.0;
+  for (int j = 0; j < ny; ++j) {
+    const double y = (j + 0.5) * dy;
+    velocity_shape_[static_cast<std::size_t>(j)] = profile.depth_averaged(y);
+    mean += velocity_shape_[static_cast<std::size_t>(j)];
+  }
+  mean /= ny;
+  ensure(mean > 0.0, "velocity shape degenerate");
+  for (double& v : velocity_shape_) {
+    v /= mean;
+    // Guard: strictly positive axial velocity is required by the marching
+    // scheme; the exact profile is ~0 only exactly at the wall, and cell
+    // centers are offset by dy/2, but protect against pathological grids.
+    v = std::max(v, 1e-6);
+  }
+}
+
+double ColaminarChannelModel::open_circuit_voltage(
+    const ChannelOperatingConditions& conditions) const {
+  return ec::open_circuit_voltage(chemistry_, conditions.inlet_temperature_k);
+}
+
+ChannelSolution ColaminarChannelModel::solve_at_voltage(
+    double cell_voltage_v, const ChannelOperatingConditions& conditions) const {
+  ensure_finite(cell_voltage_v, "cell voltage");
+  conditions.validate();
+
+  const int ny = settings_.transverse_cells;
+  const int nx = settings_.axial_steps;
+  const double gap = geometry_.electrode_gap_m;
+  const double height = geometry_.channel_height_m;
+  const double length = geometry_.channel_length_m;
+  const double dy = gap / ny;
+  const double dx = length / nx;
+  const double area_factor = geometry_.electrode_area_factor;
+  const double n_f = ec::constants::faraday_c_per_mol;
+
+  const double mean_velocity = conditions.volumetric_flow_m3_per_s /
+                               geometry_.cross_section_area_m2();
+  ensure_positive(mean_velocity, "mean velocity");
+
+  // Concentration fields: C[species][j].
+  std::array<std::vector<double>, kSpeciesCount> c;
+  for (auto& field : c) {
+    field.assign(static_cast<std::size_t>(ny), 0.0);
+  }
+  // Anolyte occupies y < gap/2, catholyte y > gap/2 at the inlet.
+  for (int j = 0; j < ny; ++j) {
+    const double y = (j + 0.5) * dy;
+    const auto idx = static_cast<std::size_t>(j);
+    if (y < gap / 2.0) {
+      c[kAnodeReduced][idx] = chemistry_.anode.reduced_inlet_concentration_mol_per_m3;
+      c[kAnodeOxidized][idx] = chemistry_.anode.oxidized_inlet_concentration_mol_per_m3;
+    } else {
+      c[kCathodeOxidized][idx] = chemistry_.cathode.oxidized_inlet_concentration_mol_per_m3;
+      c[kCathodeReduced][idx] = chemistry_.cathode.reduced_inlet_concentration_mol_per_m3;
+    }
+  }
+
+  // Inlet molar flows for conservation/utilization bookkeeping. The molar
+  // flow of species s is sum_j u_j * C_s[j] * dy * height.
+  auto molar_flow = [&](const std::vector<double>& field) {
+    double sum = 0.0;
+    for (int j = 0; j < ny; ++j) {
+      sum += velocity_shape_[static_cast<std::size_t>(j)] * field[static_cast<std::size_t>(j)];
+    }
+    return sum * mean_velocity * dy * height;
+  };
+  const double inlet_fuel_flow = molar_flow(c[kAnodeReduced]);
+  double inlet_vanadium_flow = 0.0;
+  for (const auto& field : c) {
+    inlet_vanadium_flow += molar_flow(field);
+  }
+
+  ChannelSolution solution;
+  solution.cell_voltage_v = cell_voltage_v;
+  solution.axial_position_m.reserve(static_cast<std::size_t>(nx));
+  solution.axial_current_density_a_per_m2.reserve(static_cast<std::size_t>(nx));
+
+  numerics::TridiagonalSolver tridiag(static_cast<std::size_t>(ny));
+  std::vector<double> lower(static_cast<std::size_t>(ny));
+  std::vector<double> diag(static_cast<std::size_t>(ny));
+  std::vector<double> upper(static_cast<std::size_t>(ny));
+  std::vector<double> rhs(static_cast<std::size_t>(ny));
+
+  double total_external_current = 0.0;
+  double total_parasitic_current = 0.0;
+  double annihilated_current = 0.0;
+  int clamped_stations = 0;
+
+  for (int step = 0; step < nx; ++step) {
+    const double x_mid = (step + 0.5) * dx;
+    const double temperature = conditions.temperature_at(x_mid / length);
+
+    // Station-local, temperature-dependent parameters.
+    const double d_an = chemistry_.anode.diffusivity_m2_per_s.at(temperature);
+    const double d_cat = chemistry_.cathode.diffusivity_m2_per_s.at(temperature);
+    const double sigma = chemistry_.electrolyte.ionic_conductivity_s_per_m.at(temperature);
+
+    ClosureParameters closure;
+    closure.temperature_k = temperature;
+    closure.anode_alpha = chemistry_.anode.couple.anodic_transfer_coefficient;
+    closure.cathode_alpha = chemistry_.cathode.couple.anodic_transfer_coefficient;
+    closure.anode_standard_potential_v = chemistry_.anode.couple.standard_potential_v;
+    closure.cathode_standard_potential_v = chemistry_.cathode.couple.standard_potential_v;
+    closure.anode_wall_mass_transfer_m_per_s = area_factor * d_an / (dy / 2.0);
+    closure.cathode_wall_mass_transfer_m_per_s = area_factor * d_cat / (dy / 2.0);
+    const double sigma_ref = chemistry_.electrolyte.ionic_conductivity_s_per_m.reference_value;
+    const double series_r = geometry_.series_resistance_is_ionic
+                                ? geometry_.series_resistance_ohm_m2 * sigma_ref / sigma
+                                : geometry_.series_resistance_ohm_m2;
+    closure.area_specific_resistance_ohm_m2 = gap / sigma + series_r;
+    closure.parasitic_current_density_a_per_m2 = conditions.parasitic_current_density_a_per_m2;
+
+    WallConcentrations wall;
+    wall.anode_reduced = c[kAnodeReduced].front();
+    wall.anode_oxidized = c[kAnodeOxidized].front();
+    wall.cathode_oxidized = c[kCathodeOxidized].back();
+    wall.cathode_reduced = c[kCathodeReduced].back();
+
+    // Exchange current densities on the projected-area basis, at local
+    // wall composition and temperature.
+    closure.anode_exchange_current_a_per_m2 =
+        area_factor * ec::exchange_current_density(chemistry_.anode, wall.anode_oxidized,
+                                                   wall.anode_reduced, temperature);
+    closure.cathode_exchange_current_a_per_m2 =
+        area_factor * ec::exchange_current_density(chemistry_.cathode, wall.cathode_oxidized,
+                                                   wall.cathode_reduced, temperature);
+
+    // Per-step mass availability: the wall cell cannot lose more moles than
+    // it carries through the station.
+    const double u_wall_an = velocity_shape_.front() * mean_velocity;
+    const double u_wall_cat = velocity_shape_.back() * mean_velocity;
+    closure.anodic_mass_cap_a_per_m2 =
+        0.95 * n_f * dy * u_wall_an / dx *
+        std::min(wall.anode_reduced, wall.cathode_oxidized * u_wall_cat / u_wall_an);
+    closure.cathodic_mass_cap_a_per_m2 =
+        0.95 * n_f * dy * u_wall_an / dx *
+        std::min(wall.anode_oxidized, wall.cathode_reduced * u_wall_cat / u_wall_an);
+
+    const ClosureResult local = solve_wall_current(closure, wall, cell_voltage_v);
+    if (local.clamped) {
+      ++clamped_stations;
+    }
+
+    const double i_total = local.total_current_density;
+    const double station_area = dx * height;  // projected
+    total_external_current += local.external_current_density * station_area;
+    total_parasitic_current += closure.parasitic_current_density_a_per_m2 * station_area;
+
+    // March each species with backward-Euler diffusion; the electrode flux
+    // enters the wall cells as a source on this step.
+    for (int s = 0; s < kSpeciesCount; ++s) {
+      const double d_s = (s == kAnodeReduced || s == kAnodeOxidized) ? d_an : d_cat;
+      const double lambda = d_s / (dy * dy);
+      auto& field = c[static_cast<std::size_t>(s)];
+
+      for (int j = 0; j < ny; ++j) {
+        const auto idx = static_cast<std::size_t>(j);
+        const double advect = velocity_shape_[idx] * mean_velocity / dx;
+        const double west = (j > 0) ? lambda : 0.0;
+        const double east = (j < ny - 1) ? lambda : 0.0;
+        lower[idx] = -west;
+        upper[idx] = -east;
+        diag[idx] = advect + west + east;
+        rhs[idx] = advect * field[idx];
+      }
+      // Electrode sources (mol per m^3 per station): flux i/(nF) over the
+      // wall face, volumetric in the wall cell.
+      const double source_scale = i_total / (n_f * dy);
+      if (s == kAnodeReduced) {
+        rhs.front() -= source_scale;
+      } else if (s == kAnodeOxidized) {
+        rhs.front() += source_scale;
+      } else if (s == kCathodeOxidized) {
+        rhs.back() -= source_scale;
+      } else {
+        rhs.back() += source_scale;
+      }
+
+      tridiag.solve(lower, diag, upper, rhs);
+      for (int j = 0; j < ny; ++j) {
+        const auto idx = static_cast<std::size_t>(j);
+        field[idx] = std::max(0.0, rhs[idx]);
+      }
+    }
+
+    // Interfacial annihilation of crossover species, cell by cell.
+    std::array<double, kSpeciesCount> cell_values{};
+    for (int j = 0; j < ny; ++j) {
+      const auto idx = static_cast<std::size_t>(j);
+      for (int s = 0; s < kSpeciesCount; ++s) {
+        cell_values[static_cast<std::size_t>(s)] = c[static_cast<std::size_t>(s)][idx];
+      }
+      const double equivalents = annihilate(cell_values);
+      if (equivalents > 0.0) {
+        for (int s = 0; s < kSpeciesCount; ++s) {
+          c[static_cast<std::size_t>(s)][idx] = cell_values[static_cast<std::size_t>(s)];
+        }
+        // The concentration change applies to the fluid passing this cell;
+        // the destroyed molar rate is equiv * u_j * dy * height (mol/s).
+        // Weights in `annihilate` count fuel+oxidant electrons, so halve
+        // for the symmetric capacity loss.
+        annihilated_current += 0.5 * equivalents * n_f * velocity_shape_[idx] * mean_velocity *
+                               dy * height;
+      }
+    }
+
+    solution.axial_position_m.push_back(x_mid);
+    solution.axial_current_density_a_per_m2.push_back(local.external_current_density);
+  }
+
+  // Outlet bookkeeping.
+  double outlet_vanadium_flow = 0.0;
+  for (int s = 0; s < kSpeciesCount; ++s) {
+    outlet_vanadium_flow += molar_flow(c[static_cast<std::size_t>(s)]);
+    solution.outlet_concentration_mol_per_m3[static_cast<std::size_t>(s)] =
+        c[static_cast<std::size_t>(s)];
+  }
+  const double outlet_fuel_flow = molar_flow(c[kAnodeReduced]);
+
+  solution.current_a = total_external_current;
+  solution.power_w = total_external_current * cell_voltage_v;
+  solution.mean_current_density_a_per_m2 =
+      total_external_current / geometry_.projected_electrode_area_m2();
+  solution.crossover_current_a = annihilated_current + total_parasitic_current;
+  solution.fuel_utilization =
+      (inlet_fuel_flow > 0.0) ? (inlet_fuel_flow - outlet_fuel_flow) / inlet_fuel_flow : 0.0;
+  solution.vanadium_balance_error =
+      std::abs(outlet_vanadium_flow - inlet_vanadium_flow) /
+      std::max(inlet_vanadium_flow, 1e-30);
+  solution.clamped_station_fraction = static_cast<double>(clamped_stations) / nx;
+  return solution;
+}
+
+}  // namespace brightsi::flowcell

@@ -1,0 +1,145 @@
+#include "flowcell/film_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "electrochem/butler_volmer.h"
+#include "electrochem/constants.h"
+#include "electrochem/nernst.h"
+#include "flowcell/wall_closure.h"
+#include "hydraulics/dimensionless.h"
+#include "numerics/contracts.h"
+
+namespace brightsi::flowcell {
+
+namespace ec = brightsi::electrochem;
+
+FilmChannelModel::FilmChannelModel(CellGeometry geometry,
+                                   electrochem::FlowCellChemistry chemistry, int axial_steps)
+    : geometry_(geometry), chemistry_(std::move(chemistry)), axial_steps_(axial_steps) {
+  geometry_.validate();
+  chemistry_.validate();
+  ensure(axial_steps >= 4, "film model needs at least 4 axial steps");
+}
+
+double FilmChannelModel::open_circuit_voltage(
+    const ChannelOperatingConditions& conditions) const {
+  return ec::open_circuit_voltage(chemistry_, conditions.inlet_temperature_k);
+}
+
+ChannelSolution FilmChannelModel::solve_at_voltage(
+    double cell_voltage_v, const ChannelOperatingConditions& conditions) const {
+  conditions.validate();
+  const double n_f = ec::constants::faraday_c_per_mol;
+  const double gap = geometry_.electrode_gap_m;
+  const double height = geometry_.channel_height_m;
+  const double length = geometry_.channel_length_m;
+  const double dx = length / axial_steps_;
+  const double area_factor = geometry_.electrode_area_factor;
+
+  const double mean_velocity =
+      conditions.volumetric_flow_m3_per_s / geometry_.cross_section_area_m2();
+  // Each stream carries half the channel flow.
+  const double half_flow = conditions.volumetric_flow_m3_per_s / 2.0;
+
+  // Bulk (plug) concentrations per stream.
+  double an_red = chemistry_.anode.reduced_inlet_concentration_mol_per_m3;
+  double an_ox = chemistry_.anode.oxidized_inlet_concentration_mol_per_m3;
+  double cat_ox = chemistry_.cathode.oxidized_inlet_concentration_mol_per_m3;
+  double cat_red = chemistry_.cathode.reduced_inlet_concentration_mol_per_m3;
+
+  ChannelSolution solution;
+  solution.cell_voltage_v = cell_voltage_v;
+  solution.axial_position_m.reserve(static_cast<std::size_t>(axial_steps_));
+  solution.axial_current_density_a_per_m2.reserve(static_cast<std::size_t>(axial_steps_));
+
+  double total_current = 0.0;
+  double parasitic_total = 0.0;
+  int clamped = 0;
+  const double inlet_fuel_flow = an_red * half_flow;
+
+  for (int step = 0; step < axial_steps_; ++step) {
+    const double x = (step + 0.5) * dx;
+    const double temperature = conditions.temperature_at(x / length);
+    const double d_an = chemistry_.anode.diffusivity_m2_per_s.at(temperature);
+    const double d_cat = chemistry_.cathode.diffusivity_m2_per_s.at(temperature);
+    const double sigma = chemistry_.electrolyte.ionic_conductivity_s_per_m.at(temperature);
+
+    // Mass-transfer coefficients: Leveque film for planar walls, effective
+    // porous-medium coefficient for flow-through electrodes.
+    double k_an;
+    double k_cat;
+    if (geometry_.electrode_mode == ElectrodeMode::kFlowThrough) {
+      k_an = geometry_.flow_through_mass_transfer_m_per_s;
+      k_cat = geometry_.flow_through_mass_transfer_m_per_s;
+    } else {
+      const double delta_an =
+          std::max(hydraulics::film_boundary_layer_thickness(d_an, x, mean_velocity), 1e-9);
+      const double delta_cat =
+          std::max(hydraulics::film_boundary_layer_thickness(d_cat, x, mean_velocity), 1e-9);
+      k_an = d_an / delta_an;
+      k_cat = d_cat / delta_cat;
+    }
+
+    ClosureParameters closure;
+    closure.temperature_k = temperature;
+    closure.anode_alpha = chemistry_.anode.couple.anodic_transfer_coefficient;
+    closure.cathode_alpha = chemistry_.cathode.couple.anodic_transfer_coefficient;
+    closure.anode_standard_potential_v = chemistry_.anode.couple.standard_potential_v;
+    closure.cathode_standard_potential_v = chemistry_.cathode.couple.standard_potential_v;
+    closure.anode_wall_mass_transfer_m_per_s = area_factor * k_an;
+    closure.cathode_wall_mass_transfer_m_per_s = area_factor * k_cat;
+    const double sigma_ref = chemistry_.electrolyte.ionic_conductivity_s_per_m.reference_value;
+    const double series_r = geometry_.series_resistance_is_ionic
+                                ? geometry_.series_resistance_ohm_m2 * sigma_ref / sigma
+                                : geometry_.series_resistance_ohm_m2;
+    closure.area_specific_resistance_ohm_m2 = gap / sigma + series_r;
+    closure.parasitic_current_density_a_per_m2 = conditions.parasitic_current_density_a_per_m2;
+    // Per-station utilization caps: a station cannot convert more than the
+    // stream carries past it.
+    const double station_area = dx * height;
+    const double cap_scale = 0.9 * n_f * half_flow / station_area;
+    closure.anodic_mass_cap_a_per_m2 = cap_scale * std::min(an_red, cat_ox);
+    closure.cathodic_mass_cap_a_per_m2 = cap_scale * std::min(an_ox, cat_red);
+    closure.anode_exchange_current_a_per_m2 =
+        area_factor * ec::exchange_current_density(chemistry_.anode, an_ox, an_red, temperature);
+    closure.cathode_exchange_current_a_per_m2 =
+        area_factor *
+        ec::exchange_current_density(chemistry_.cathode, cat_ox, cat_red, temperature);
+
+    WallConcentrations wall{an_red, an_ox, cat_ox, cat_red};
+    const ClosureResult local = solve_wall_current(closure, wall, cell_voltage_v);
+    if (local.clamped) {
+      ++clamped;
+    }
+
+    const double i_total = local.total_current_density;
+    total_current += local.external_current_density * station_area;
+    parasitic_total += closure.parasitic_current_density_a_per_m2 * station_area;
+
+    // Bulk depletion: molar rate = i/(nF) * electrode width element.
+    const double molar_rate = i_total * station_area / n_f;  // mol/s this station
+    const double d_conc = molar_rate / half_flow;            // mol/m^3 change of the stream
+    an_red = std::max(0.0, an_red - d_conc);
+    an_ox += d_conc;
+    cat_ox = std::max(0.0, cat_ox - d_conc);
+    cat_red += d_conc;
+
+    solution.axial_position_m.push_back(x);
+    solution.axial_current_density_a_per_m2.push_back(local.external_current_density);
+  }
+
+  solution.current_a = total_current;
+  solution.power_w = total_current * cell_voltage_v;
+  solution.mean_current_density_a_per_m2 =
+      total_current / geometry_.projected_electrode_area_m2();
+  solution.crossover_current_a = parasitic_total;
+  const double outlet_fuel_flow = an_red * half_flow;
+  solution.fuel_utilization =
+      (inlet_fuel_flow > 0.0) ? (inlet_fuel_flow - outlet_fuel_flow) / inlet_fuel_flow : 0.0;
+  solution.vanadium_balance_error = 0.0;  // conserved exactly by construction
+  solution.clamped_station_fraction = static_cast<double>(clamped) / axial_steps_;
+  return solution;
+}
+
+}  // namespace brightsi::flowcell

@@ -1,0 +1,47 @@
+// Analytic plug-flow film model of the flow cell.
+//
+// Two roles:
+//   * kPlanarWall geometries: classic electrochemical-engineering
+//     cross-check of the FVM — plug flow at the mean velocity, a
+//     Leveque-type concentration film delta(x) = sqrt(pi D x / v) at each
+//     electrode, 1-D bulk depletion along the channel, and the same
+//     Butler-Volmer/Nernst/ohmic closure per station. Expected to agree
+//     with the FVM at the tens-of-percent level.
+//   * kFlowThrough geometries: the primary model. Porous flow-through
+//     electrodes contact the bulk stream directly, so the film is replaced
+//     by the (large) effective porous-medium mass-transfer coefficient and
+//     the per-station utilization cap; transport is stream-availability
+//     limited, matching the high-power flow-through cells the paper cites.
+#ifndef BRIGHTSI_FLOWCELL_FILM_MODEL_H
+#define BRIGHTSI_FLOWCELL_FILM_MODEL_H
+
+#include "flowcell/channel_model.h"
+
+namespace brightsi::flowcell {
+
+/// Plug-flow station model; see file comment for the two electrode modes.
+class FilmChannelModel final : public ChannelModel {
+ public:
+  FilmChannelModel(CellGeometry geometry, electrochem::FlowCellChemistry chemistry,
+                   int axial_steps = 200);
+
+  [[nodiscard]] ChannelSolution solve_at_voltage(
+      double cell_voltage_v, const ChannelOperatingConditions& conditions) const override;
+
+  [[nodiscard]] double open_circuit_voltage(
+      const ChannelOperatingConditions& conditions) const override;
+
+  [[nodiscard]] const CellGeometry& geometry() const override { return geometry_; }
+  [[nodiscard]] const electrochem::FlowCellChemistry& chemistry() const override {
+    return chemistry_;
+  }
+
+ private:
+  CellGeometry geometry_;
+  electrochem::FlowCellChemistry chemistry_;
+  int axial_steps_;
+};
+
+}  // namespace brightsi::flowcell
+
+#endif  // BRIGHTSI_FLOWCELL_FILM_MODEL_H

@@ -1,0 +1,68 @@
+// Local electrode closure of the co-laminar FVM.
+//
+// At each axial station the two electrodes are equipotential metal, the
+// ionic current crosses the electrode gap, and the local current density
+// i(x) must satisfy the cell-voltage constraint
+//
+//   V_cell = [E_eq,cat(C_wall) + eta_cat(i)] - [E_eq,an(C_wall) + eta_an(i)]
+//            - i * ASR
+//
+// where the overpotentials come from Butler-Volmer kinetics evaluated with
+// surface concentrations tied to the diffusive wall flux
+// (i/nF = k_wall (C_wall - C_surface)). The equation is strictly monotone
+// in i, solved by Brent iteration within physical brackets (surface
+// depletion and per-step mass availability).
+#ifndef BRIGHTSI_FLOWCELL_WALL_CLOSURE_H
+#define BRIGHTSI_FLOWCELL_WALL_CLOSURE_H
+
+namespace brightsi::flowcell {
+
+/// Wall-adjacent concentrations at one axial station (mol/m^3).
+struct WallConcentrations {
+  double anode_reduced = 0.0;    ///< V2+ beside the anode
+  double anode_oxidized = 0.0;   ///< V3+ beside the anode
+  double cathode_oxidized = 0.0; ///< VO2+ (V^V) beside the cathode
+  double cathode_reduced = 0.0;  ///< VO^2+ (V^IV) beside the cathode
+};
+
+/// Station-local parameters (already on the projected-electrode-area basis:
+/// i0 and the wall mass-transfer coefficients include the electrode area
+/// factor).
+struct ClosureParameters {
+  double temperature_k = 300.0;
+  double anode_exchange_current_a_per_m2 = 0.0;
+  double cathode_exchange_current_a_per_m2 = 0.0;
+  double anode_alpha = 0.5;
+  double cathode_alpha = 0.5;
+  double anode_standard_potential_v = 0.0;
+  double cathode_standard_potential_v = 0.0;
+  double anode_wall_mass_transfer_m_per_s = 0.0;    ///< k_wall = factor * D / (dy/2)
+  double cathode_wall_mass_transfer_m_per_s = 0.0;
+  double area_specific_resistance_ohm_m2 = 0.0;     ///< electrolyte gap / sigma
+  double parasitic_current_density_a_per_m2 = 0.0;  ///< internal self-discharge
+  /// Per-step mass availability cap on |i| (A/m^2); the marching scheme
+  /// cannot consume more than the wall cell holds in one step. <= 0 : none.
+  double anodic_mass_cap_a_per_m2 = 0.0;
+  double cathodic_mass_cap_a_per_m2 = 0.0;
+};
+
+/// Result of the local solve.
+struct ClosureResult {
+  double total_current_density = 0.0;     ///< through the electrodes (incl. parasitic)
+  double external_current_density = 0.0;  ///< collected current, total - parasitic
+  double anode_overpotential_v = 0.0;
+  double cathode_overpotential_v = 0.0;
+  double local_open_circuit_v = 0.0;      ///< Nernst at the wall concentrations
+  bool clamped = false;                   ///< hit a transport/mass bracket
+};
+
+/// Solves the station closure for cell voltage `cell_voltage_v`. Positive
+/// current = discharge. Returns zero current when the station is fully
+/// depleted.
+[[nodiscard]] ClosureResult solve_wall_current(const ClosureParameters& params,
+                                               const WallConcentrations& wall,
+                                               double cell_voltage_v);
+
+}  // namespace brightsi::flowcell
+
+#endif  // BRIGHTSI_FLOWCELL_WALL_CLOSURE_H

@@ -1,0 +1,16 @@
+#include "hydraulics/dimensionless.h"
+
+#include <cmath>
+
+namespace brightsi::hydraulics {
+
+double film_boundary_layer_thickness(double diffusivity, double axial_position,
+                                     double mean_velocity) {
+  ensure_positive(diffusivity, "diffusivity");
+  ensure_non_negative(axial_position, "axial position");
+  ensure_positive(mean_velocity, "mean velocity");
+  constexpr double kPi = 3.14159265358979323846;
+  return std::sqrt(kPi * diffusivity * axial_position / mean_velocity);
+}
+
+}  // namespace brightsi::hydraulics

@@ -1,0 +1,24 @@
+#include "hydraulics/pump.h"
+
+#include "numerics/contracts.h"
+
+namespace brightsi::hydraulics {
+
+double pumping_power_w(double delta_p_pa, double volumetric_flow_m3_per_s,
+                       double pump_efficiency) {
+  ensure_non_negative(delta_p_pa, "pressure drop");
+  ensure_non_negative(volumetric_flow_m3_per_s, "volumetric flow");
+  ensure(pump_efficiency > 0.0 && pump_efficiency <= 1.0,
+         "pump efficiency must be in (0, 1]");
+  return delta_p_pa * volumetric_flow_m3_per_s / pump_efficiency;
+}
+
+double minor_loss_pa(double loss_coefficient, double density_kg_per_m3,
+                     double velocity_m_per_s) {
+  ensure_non_negative(loss_coefficient, "loss coefficient");
+  ensure_positive(density_kg_per_m3, "density");
+  ensure_non_negative(velocity_m_per_s, "velocity");
+  return loss_coefficient * density_kg_per_m3 * velocity_m_per_s * velocity_m_per_s / 2.0;
+}
+
+}  // namespace brightsi::hydraulics

@@ -1,0 +1,49 @@
+// Lightweight contract checking used across the project.
+//
+// Public API entry points validate their preconditions with `ensure` /
+// `ensure_positive` / `ensure_finite` (these throw std::invalid_argument so
+// misuse is reported to callers), while internal invariants use plain
+// assert. This follows the Core Guidelines split between interface
+// contracts (I.5/I.6) and implementation assertions.
+#ifndef BRIGHTSI_NUMERICS_CONTRACTS_H
+#define BRIGHTSI_NUMERICS_CONTRACTS_H
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace brightsi {
+
+/// Throws std::invalid_argument with `message` when `condition` is false.
+inline void ensure(bool condition, const std::string& message) {
+  if (!condition) {
+    throw std::invalid_argument(message);
+  }
+}
+
+/// Requires `value > 0` (and finite); `name` identifies the offending parameter.
+inline void ensure_positive(double value, const std::string& name) {
+  if (!(value > 0.0) || !std::isfinite(value)) {
+    throw std::invalid_argument(name + " must be positive and finite, got " +
+                                std::to_string(value));
+  }
+}
+
+/// Requires `value >= 0` (and finite).
+inline void ensure_non_negative(double value, const std::string& name) {
+  if (value < 0.0 || !std::isfinite(value)) {
+    throw std::invalid_argument(name + " must be non-negative and finite, got " +
+                                std::to_string(value));
+  }
+}
+
+/// Requires a finite value (rejects NaN and infinities).
+inline void ensure_finite(double value, const std::string& name) {
+  if (!std::isfinite(value)) {
+    throw std::invalid_argument(name + " must be finite, got " + std::to_string(value));
+  }
+}
+
+}  // namespace brightsi
+
+#endif  // BRIGHTSI_NUMERICS_CONTRACTS_H

@@ -1,0 +1,282 @@
+#include "numerics/linear_solvers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/contracts.h"
+
+namespace brightsi::numerics {
+namespace {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    s += a[i] * b[i];
+  }
+  return s;
+}
+
+double norm(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+// y += alpha * x
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+void identity_apply(std::span<const double> r, std::span<double> z) {
+  std::copy(r.begin(), r.end(), z.begin());
+}
+
+}  // namespace
+
+JacobiPreconditioner::JacobiPreconditioner(const CsrMatrix& a) {
+  inverse_diagonal_ = a.diagonal();
+  for (double& d : inverse_diagonal_) {
+    d = (d != 0.0) ? 1.0 / d : 1.0;
+  }
+}
+
+void JacobiPreconditioner::apply(std::span<const double> r, std::span<double> z) const {
+  ensure(r.size() == inverse_diagonal_.size() && z.size() == r.size(),
+         "JacobiPreconditioner::apply size mismatch");
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    z[i] = r[i] * inverse_diagonal_[i];
+  }
+}
+
+Ilu0Preconditioner::Ilu0Preconditioner(const CsrMatrix& a) {
+  ensure(a.rows() == a.cols(), "Ilu0Preconditioner requires a square matrix");
+  n_ = a.rows();
+  row_offsets_ = a.row_offsets();
+  column_indices_ = a.column_indices();
+  values_ = a.values();
+  diagonal_position_.assign(static_cast<std::size_t>(n_), -1);
+
+  for (int r = 0; r < n_; ++r) {
+    for (int k = row_offsets_[static_cast<std::size_t>(r)];
+         k < row_offsets_[static_cast<std::size_t>(r) + 1]; ++k) {
+      if (column_indices_[static_cast<std::size_t>(k)] == r) {
+        diagonal_position_[static_cast<std::size_t>(r)] = k;
+      }
+    }
+    if (diagonal_position_[static_cast<std::size_t>(r)] < 0) {
+      throw std::runtime_error("Ilu0Preconditioner: structurally zero diagonal at row " +
+                               std::to_string(r));
+    }
+  }
+
+  // IKJ-variant ILU(0): for each row i, eliminate against previous rows k
+  // that appear in i's sparsity pattern.
+  std::vector<int> position_of_column(static_cast<std::size_t>(n_), -1);
+  for (int i = 0; i < n_; ++i) {
+    const int row_begin = row_offsets_[static_cast<std::size_t>(i)];
+    const int row_end = row_offsets_[static_cast<std::size_t>(i) + 1];
+    for (int k = row_begin; k < row_end; ++k) {
+      position_of_column[static_cast<std::size_t>(column_indices_[static_cast<std::size_t>(k)])] = k;
+    }
+    for (int k = row_begin; k < row_end; ++k) {
+      const int col = column_indices_[static_cast<std::size_t>(k)];
+      if (col >= i) {
+        break;  // columns are sorted; only strictly-lower part is eliminated
+      }
+      const double pivot = values_[static_cast<std::size_t>(
+          diagonal_position_[static_cast<std::size_t>(col)])];
+      if (pivot == 0.0) {
+        throw std::runtime_error("Ilu0Preconditioner: zero pivot at row " + std::to_string(col));
+      }
+      const double factor = values_[static_cast<std::size_t>(k)] / pivot;
+      values_[static_cast<std::size_t>(k)] = factor;
+      // Subtract factor * U-part of row `col` from row i (pattern-limited).
+      for (int kk = diagonal_position_[static_cast<std::size_t>(col)] + 1;
+           kk < row_offsets_[static_cast<std::size_t>(col) + 1]; ++kk) {
+        const int target_col = column_indices_[static_cast<std::size_t>(kk)];
+        const int pos = position_of_column[static_cast<std::size_t>(target_col)];
+        if (pos >= 0) {
+          values_[static_cast<std::size_t>(pos)] -=
+              factor * values_[static_cast<std::size_t>(kk)];
+        }
+      }
+    }
+    for (int k = row_begin; k < row_end; ++k) {
+      position_of_column[static_cast<std::size_t>(column_indices_[static_cast<std::size_t>(k)])] = -1;
+    }
+  }
+}
+
+void Ilu0Preconditioner::apply(std::span<const double> r, std::span<double> z) const {
+  ensure(static_cast<int>(r.size()) == n_ && static_cast<int>(z.size()) == n_,
+         "Ilu0Preconditioner::apply size mismatch");
+  // Forward solve L y = r (unit diagonal L).
+  for (int i = 0; i < n_; ++i) {
+    double sum = r[static_cast<std::size_t>(i)];
+    for (int k = row_offsets_[static_cast<std::size_t>(i)];
+         k < diagonal_position_[static_cast<std::size_t>(i)]; ++k) {
+      sum -= values_[static_cast<std::size_t>(k)] *
+             z[static_cast<std::size_t>(column_indices_[static_cast<std::size_t>(k)])];
+    }
+    z[static_cast<std::size_t>(i)] = sum;
+  }
+  // Backward solve U z = y.
+  for (int i = n_ - 1; i >= 0; --i) {
+    double sum = z[static_cast<std::size_t>(i)];
+    for (int k = diagonal_position_[static_cast<std::size_t>(i)] + 1;
+         k < row_offsets_[static_cast<std::size_t>(i) + 1]; ++k) {
+      sum -= values_[static_cast<std::size_t>(k)] *
+             z[static_cast<std::size_t>(column_indices_[static_cast<std::size_t>(k)])];
+    }
+    z[static_cast<std::size_t>(i)] =
+        sum / values_[static_cast<std::size_t>(diagonal_position_[static_cast<std::size_t>(i)])];
+  }
+}
+
+SolverReport solve_cg(const CsrMatrix& a, std::span<const double> b, std::span<double> x,
+                      const Preconditioner* preconditioner, const SolverOptions& options) {
+  ensure(a.rows() == a.cols(), "solve_cg requires a square matrix");
+  const auto n = static_cast<std::size_t>(a.rows());
+  ensure(b.size() == n && x.size() == n, "solve_cg size mismatch");
+
+  std::vector<double> r(n), z(n), p(n), ap(n);
+  a.multiply(x, r);
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = b[i] - r[i];
+  }
+  const double b_norm = norm(b);
+  const double target = std::max(options.relative_tolerance * b_norm, options.absolute_tolerance);
+
+  SolverReport report;
+  report.residual_norm = norm(r);
+  if (report.residual_norm <= target) {
+    report.converged = true;
+    return report;
+  }
+
+  if (preconditioner != nullptr) {
+    preconditioner->apply(r, z);
+  } else {
+    identity_apply(r, z);
+  }
+  std::copy(z.begin(), z.end(), p.begin());
+  double rho = dot(r, z);
+
+  for (int it = 1; it <= options.max_iterations; ++it) {
+    a.multiply(p, ap);
+    const double p_ap = dot(p, ap);
+    if (p_ap == 0.0) {
+      break;  // breakdown
+    }
+    const double alpha = rho / p_ap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    report.iterations = it;
+    report.residual_norm = norm(r);
+    if (report.residual_norm <= target) {
+      report.converged = true;
+      return report;
+    }
+    if (preconditioner != nullptr) {
+      preconditioner->apply(r, z);
+    } else {
+      identity_apply(r, z);
+    }
+    const double rho_next = dot(r, z);
+    const double beta = rho_next / rho;
+    rho = rho_next;
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = z[i] + beta * p[i];
+    }
+  }
+  return report;
+}
+
+SolverReport solve_bicgstab(const CsrMatrix& a, std::span<const double> b, std::span<double> x,
+                            const Preconditioner* preconditioner, const SolverOptions& options) {
+  ensure(a.rows() == a.cols(), "solve_bicgstab requires a square matrix");
+  const auto n = static_cast<std::size_t>(a.rows());
+  ensure(b.size() == n && x.size() == n, "solve_bicgstab size mismatch");
+
+  std::vector<double> r(n), r0(n), p(n, 0.0), v(n, 0.0), s(n), t(n), phat(n), shat(n);
+  a.multiply(x, r);
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = b[i] - r[i];
+  }
+  std::copy(r.begin(), r.end(), r0.begin());
+
+  const double b_norm = norm(b);
+  const double target = std::max(options.relative_tolerance * b_norm, options.absolute_tolerance);
+
+  SolverReport report;
+  report.residual_norm = norm(r);
+  if (report.residual_norm <= target) {
+    report.converged = true;
+    return report;
+  }
+
+  double rho = 1.0, alpha = 1.0, omega = 1.0;
+  for (int it = 1; it <= options.max_iterations; ++it) {
+    const double rho_next = dot(r0, r);
+    if (rho_next == 0.0) {
+      break;  // breakdown
+    }
+    if (it == 1) {
+      std::copy(r.begin(), r.end(), p.begin());
+    } else {
+      const double beta = (rho_next / rho) * (alpha / omega);
+      for (std::size_t i = 0; i < n; ++i) {
+        p[i] = r[i] + beta * (p[i] - omega * v[i]);
+      }
+    }
+    rho = rho_next;
+
+    if (preconditioner != nullptr) {
+      preconditioner->apply(p, phat);
+    } else {
+      identity_apply(p, phat);
+    }
+    a.multiply(phat, v);
+    const double r0_v = dot(r0, v);
+    if (r0_v == 0.0) {
+      break;
+    }
+    alpha = rho / r0_v;
+    for (std::size_t i = 0; i < n; ++i) {
+      s[i] = r[i] - alpha * v[i];
+    }
+    report.iterations = it;
+    if (norm(s) <= target) {
+      axpy(alpha, phat, x);
+      report.residual_norm = norm(s);
+      report.converged = true;
+      return report;
+    }
+
+    if (preconditioner != nullptr) {
+      preconditioner->apply(s, shat);
+    } else {
+      identity_apply(s, shat);
+    }
+    a.multiply(shat, t);
+    const double t_t = dot(t, t);
+    if (t_t == 0.0) {
+      break;
+    }
+    omega = dot(t, s) / t_t;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * phat[i] + omega * shat[i];
+      r[i] = s[i] - omega * t[i];
+    }
+    report.residual_norm = norm(r);
+    if (report.residual_norm <= target) {
+      report.converged = true;
+      return report;
+    }
+    if (omega == 0.0) {
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace brightsi::numerics

@@ -1,0 +1,82 @@
+// Preconditioned Krylov solvers for the sparse systems assembled by the
+// thermal (nonsymmetric: upwind advection) and PDN (SPD nodal) models.
+//
+//  * solve_cg        — conjugate gradients, for symmetric positive definite A
+//  * solve_bicgstab  — BiCGSTAB, for general nonsymmetric A
+//
+// Both accept an optional preconditioner (Jacobi or ILU(0)); both return the
+// iteration count and final residual so callers can assert convergence.
+#ifndef BRIGHTSI_NUMERICS_LINEAR_SOLVERS_H
+#define BRIGHTSI_NUMERICS_LINEAR_SOLVERS_H
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "numerics/sparse_matrix.h"
+
+namespace brightsi::numerics {
+
+/// Convergence controls shared by the Krylov solvers.
+struct SolverOptions {
+  double relative_tolerance = 1e-10;  ///< stop when ||r|| <= rel_tol * ||b||
+  double absolute_tolerance = 1e-14;  ///< ... or ||r|| <= abs_tol
+  int max_iterations = 5000;
+};
+
+/// Outcome of a linear solve. `converged` is false on breakdown or when the
+/// iteration budget was exhausted; `x` then holds the best iterate found.
+struct SolverReport {
+  bool converged = false;
+  int iterations = 0;
+  double residual_norm = 0.0;
+};
+
+/// Interface for left preconditioners: z = M^{-1} r.
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+  virtual void apply(std::span<const double> r, std::span<double> z) const = 0;
+};
+
+/// Diagonal (Jacobi) preconditioner. Zero diagonal entries pass through.
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  explicit JacobiPreconditioner(const CsrMatrix& a);
+  void apply(std::span<const double> r, std::span<double> z) const override;
+
+ private:
+  std::vector<double> inverse_diagonal_;
+};
+
+/// Incomplete LU factorization with zero fill-in on the sparsity pattern of A.
+/// Well suited to the 7-point finite-volume stencils used in this project.
+class Ilu0Preconditioner final : public Preconditioner {
+ public:
+  /// Throws std::runtime_error when a zero pivot is encountered.
+  explicit Ilu0Preconditioner(const CsrMatrix& a);
+  void apply(std::span<const double> r, std::span<double> z) const override;
+
+ private:
+  int n_ = 0;
+  std::vector<int> row_offsets_;
+  std::vector<int> column_indices_;
+  std::vector<double> values_;          // merged L (unit diagonal implied) and U
+  std::vector<int> diagonal_position_;  // index of the diagonal entry per row
+};
+
+/// Conjugate gradient for SPD systems. `x` carries the initial guess in and
+/// the solution out.
+SolverReport solve_cg(const CsrMatrix& a, std::span<const double> b, std::span<double> x,
+                      const Preconditioner* preconditioner = nullptr,
+                      const SolverOptions& options = {});
+
+/// BiCGSTAB for general square systems. `x` carries the initial guess in and
+/// the solution out.
+SolverReport solve_bicgstab(const CsrMatrix& a, std::span<const double> b, std::span<double> x,
+                            const Preconditioner* preconditioner = nullptr,
+                            const SolverOptions& options = {});
+
+}  // namespace brightsi::numerics
+
+#endif  // BRIGHTSI_NUMERICS_LINEAR_SOLVERS_H

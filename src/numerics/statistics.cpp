@@ -1,0 +1,66 @@
+#include "numerics/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "numerics/contracts.h"
+
+namespace brightsi::numerics {
+
+Summary summarize(std::span<const double> values) {
+  ensure(!values.empty(), "summarize: empty input");
+  Summary s;
+  s.count = values.size();
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0.0;
+  for (const double v : values) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (const double v : values) {
+    var += (v - s.mean) * (v - s.mean);
+  }
+  s.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  return s;
+}
+
+double percentile(std::span<const double> values, double p) {
+  ensure(!values.empty(), "percentile: empty input");
+  ensure(p >= 0.0 && p <= 100.0, "percentile: p must be in [0, 100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double max_abs_difference(std::span<const double> a, std::span<const double> b) {
+  ensure(a.size() == b.size(), "max_abs_difference size mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+double max_relative_error(std::span<const double> a, std::span<const double> b, double floor) {
+  ensure(a.size() == b.size(), "max_relative_error size mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double denom = std::max(std::abs(b[i]), floor);
+    m = std::max(m, std::abs(a[i] - b[i]) / denom);
+  }
+  return m;
+}
+
+}  // namespace brightsi::numerics

@@ -1,0 +1,35 @@
+// Small descriptive-statistics helpers for reporting on field maps
+// (temperature, voltage) and benchmark result series.
+#ifndef BRIGHTSI_NUMERICS_STATISTICS_H
+#define BRIGHTSI_NUMERICS_STATISTICS_H
+
+#include <span>
+
+namespace brightsi::numerics {
+
+/// Summary of a sample set.
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  std::size_t count = 0;
+};
+
+/// Computes min/max/mean/stddev of `values` (must be non-empty).
+Summary summarize(std::span<const double> values);
+
+/// Linear-interpolated percentile in [0, 100] of `values` (copied & sorted).
+double percentile(std::span<const double> values, double p);
+
+/// Max |a[i] - b[i]| over equally-sized spans.
+double max_abs_difference(std::span<const double> a, std::span<const double> b);
+
+/// Max relative error |a-b| / max(|b|, floor) over equally-sized spans;
+/// `floor` guards against division by ~0 reference values.
+double max_relative_error(std::span<const double> a, std::span<const double> b,
+                          double floor = 1e-30);
+
+}  // namespace brightsi::numerics
+
+#endif  // BRIGHTSI_NUMERICS_STATISTICS_H

@@ -1,0 +1,226 @@
+#include "pdn/power_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "chip/power_map.h"
+#include "numerics/contracts.h"
+#include "numerics/sparse_matrix.h"
+
+namespace brightsi::pdn {
+
+void PowerGridSpec::validate() const {
+  ensure(nodes_x >= 2 && nodes_y >= 2, "power grid needs at least a 2x2 mesh");
+  ensure_positive(sheet_resistance_ohm_per_sq, "sheet resistance");
+  ensure_positive(nominal_voltage_v, "nominal voltage");
+}
+
+PowerGrid::PowerGrid(PowerGridSpec spec, const chip::Floorplan& floorplan,
+                     std::function<bool(const chip::Block&)> load_filter)
+    : spec_(spec), die_width_m_(floorplan.die_width()), die_height_m_(floorplan.die_height()) {
+  spec_.validate();
+  if (!load_filter) {
+    load_filter = [](const chip::Block& b) { return chip::is_cache(b.type); };
+  }
+  // Per-node sink currents at the nominal rail voltage: rasterize the
+  // filtered block power onto the node grid (cell-centered), divide by V.
+  const numerics::Grid2<double> power =
+      chip::rasterize_power_w(floorplan, spec_.nodes_x, spec_.nodes_y, load_filter);
+  load_current_a_ = numerics::Grid2<double>(spec_.nodes_x, spec_.nodes_y, 0.0);
+  for (std::size_t i = 0; i < power.data().size(); ++i) {
+    load_current_a_.data()[i] = power.data()[i] / spec_.nominal_voltage_v;
+  }
+}
+
+double PowerGrid::nominal_load_current_a() const {
+  double total = 0.0;
+  for (const double i : load_current_a_.data()) {
+    total += i;
+  }
+  return total;
+}
+
+int PowerGrid::nearest_node_x(double x_m) const {
+  const double pitch = die_width_m_ / spec_.nodes_x;
+  const int ix = static_cast<int>(std::floor(x_m / pitch));
+  return std::clamp(ix, 0, spec_.nodes_x - 1);
+}
+
+int PowerGrid::nearest_node_y(double y_m) const {
+  const double pitch = die_height_m_ / spec_.nodes_y;
+  const int iy = static_cast<int>(std::floor(y_m / pitch));
+  return std::clamp(iy, 0, spec_.nodes_y - 1);
+}
+
+PowerGridSolution PowerGrid::solve(const std::vector<VrmTap>& taps) const {
+  return solve_with_loads(taps, load_current_a_);
+}
+
+PowerGridSolution PowerGrid::solve_constant_power(const std::vector<VrmTap>& taps,
+                                                  int max_iterations,
+                                                  double tolerance_v) const {
+  numerics::Grid2<double> loads = load_current_a_;  // start at nominal
+  PowerGridSolution solution = solve_with_loads(taps, loads);
+  for (int it = 1; it < max_iterations; ++it) {
+    // I_node = P_node / V_node, with P_node = I_nominal * V_nominal.
+    for (int iy = 0; iy < spec_.nodes_y; ++iy) {
+      for (int ix = 0; ix < spec_.nodes_x; ++ix) {
+        const double v = std::max(solution.node_voltage_v(ix, iy), 0.1);
+        loads(ix, iy) = load_current_a_(ix, iy) * spec_.nominal_voltage_v / v;
+      }
+    }
+    const PowerGridSolution next = solve_with_loads(taps, loads);
+    const double change =
+        std::abs(next.min_voltage_v - solution.min_voltage_v) +
+        std::abs(next.mean_voltage_v - solution.mean_voltage_v);
+    solution = next;
+    if (change < tolerance_v) {
+      break;
+    }
+  }
+  return solution;
+}
+
+PowerGridSolution PowerGrid::solve_with_loads(const std::vector<VrmTap>& taps,
+                                              const numerics::Grid2<double>& loads) const {
+  ensure(!taps.empty(), "PowerGrid::solve needs at least one VRM tap");
+  const int nx = spec_.nodes_x;
+  const int ny = spec_.nodes_y;
+  const auto node_count = static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny);
+  auto index = [nx](int ix, int iy) {
+    return static_cast<std::size_t>(iy) * static_cast<std::size_t>(nx) +
+           static_cast<std::size_t>(ix);
+  };
+
+  // Edge conductances: a uniform mesh of squares has edge resistance equal
+  // to the sheet resistance times the edge aspect; with near-square cells
+  // the x/y aspect corrections keep the continuum limit exact.
+  const double dx = die_width_m_ / nx;
+  const double dy = die_height_m_ / ny;
+  const double g_x = dy / dx / spec_.sheet_resistance_ohm_per_sq;
+  const double g_y = dx / dy / spec_.sheet_resistance_ohm_per_sq;
+
+  numerics::TripletList triplets(node_count * 5 + taps.size());
+  std::vector<double> rhs(node_count, 0.0);
+
+  for (int iy = 0; iy < ny; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      const std::size_t me = index(ix, iy);
+      if (ix + 1 < nx) {
+        const std::size_t right = index(ix + 1, iy);
+        triplets.add(static_cast<int>(me), static_cast<int>(me), g_x);
+        triplets.add(static_cast<int>(right), static_cast<int>(right), g_x);
+        triplets.add(static_cast<int>(me), static_cast<int>(right), -g_x);
+        triplets.add(static_cast<int>(right), static_cast<int>(me), -g_x);
+      }
+      if (iy + 1 < ny) {
+        const std::size_t up = index(ix, iy + 1);
+        triplets.add(static_cast<int>(me), static_cast<int>(me), g_y);
+        triplets.add(static_cast<int>(up), static_cast<int>(up), g_y);
+        triplets.add(static_cast<int>(me), static_cast<int>(up), -g_y);
+        triplets.add(static_cast<int>(up), static_cast<int>(me), -g_y);
+      }
+      rhs[me] -= loads(ix, iy);  // sinks draw current out of the node
+    }
+  }
+
+  for (const VrmTap& tap : taps) {
+    ensure_positive(tap.output_resistance_ohm, "VRM output resistance");
+    const std::size_t node = index(nearest_node_x(tap.x_m), nearest_node_y(tap.y_m));
+    const double g = 1.0 / tap.output_resistance_ohm;
+    triplets.add(static_cast<int>(node), static_cast<int>(node), g);
+    rhs[node] += g * tap.set_point_v;
+  }
+
+  const numerics::CsrMatrix matrix = numerics::CsrMatrix::from_triplets(
+      static_cast<int>(node_count), static_cast<int>(node_count), triplets);
+
+  std::vector<double> voltages(node_count, spec_.nominal_voltage_v);
+  const numerics::JacobiPreconditioner precond(matrix);
+  numerics::SolverOptions options;
+  options.relative_tolerance = 1e-12;
+  options.max_iterations = 20000;
+  const numerics::SolverReport report =
+      numerics::solve_cg(matrix, rhs, voltages, &precond, options);
+  if (!report.converged) {
+    throw std::runtime_error("PowerGrid::solve: CG did not converge (residual " +
+                             std::to_string(report.residual_norm) + ")");
+  }
+
+  PowerGridSolution out;
+  out.solver_report = report;
+  out.node_voltage_v = numerics::Grid2<double>(nx, ny, 0.0);
+  out.node_voltage_v.data() = voltages;
+  out.min_voltage_v = *std::min_element(voltages.begin(), voltages.end());
+  out.max_voltage_v = *std::max_element(voltages.begin(), voltages.end());
+  double sum = 0.0;
+  for (const double v : voltages) {
+    sum += v;
+  }
+  out.mean_voltage_v = sum / static_cast<double>(voltages.size());
+  for (const double i : loads.data()) {
+    out.total_load_current_a += i;
+  }
+  double max_set_point = 0.0;
+  for (const VrmTap& tap : taps) {
+    const std::size_t node = index(nearest_node_x(tap.x_m), nearest_node_y(tap.y_m));
+    const double current = (tap.set_point_v - voltages[node]) / tap.output_resistance_ohm;
+    out.total_supply_current_a += current;
+    out.ohmic_loss_w += current * current * tap.output_resistance_ohm;
+    max_set_point = std::max(max_set_point, tap.set_point_v);
+  }
+  out.worst_drop_v = max_set_point - out.min_voltage_v;
+
+  // Mesh ohmic loss: sum over edges of G (dV)^2.
+  for (int iy = 0; iy < ny; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      if (ix + 1 < nx) {
+        const double dv =
+            out.node_voltage_v(ix, iy) - out.node_voltage_v(ix + 1, iy);
+        out.ohmic_loss_w += g_x * dv * dv;
+      }
+      if (iy + 1 < ny) {
+        const double dv =
+            out.node_voltage_v(ix, iy) - out.node_voltage_v(ix, iy + 1);
+        out.ohmic_loss_w += g_y * dv * dv;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<VrmTap> make_vrm_grid(int count_x, int count_y, double die_width_m,
+                                  double die_height_m, double set_point_v,
+                                  double output_resistance_ohm) {
+  ensure(count_x > 0 && count_y > 0, "VRM grid counts must be positive");
+  std::vector<VrmTap> taps;
+  taps.reserve(static_cast<std::size_t>(count_x) * static_cast<std::size_t>(count_y));
+  for (int iy = 0; iy < count_y; ++iy) {
+    for (int ix = 0; ix < count_x; ++ix) {
+      VrmTap tap;
+      tap.x_m = die_width_m * (ix + 0.5) / count_x;
+      tap.y_m = die_height_m * (iy + 0.5) / count_y;
+      tap.set_point_v = set_point_v;
+      tap.output_resistance_ohm = output_resistance_ohm;
+      taps.push_back(tap);
+    }
+  }
+  return taps;
+}
+
+std::vector<VrmTap> make_edge_taps(int count_per_edge, double die_width_m, double die_height_m,
+                                   double set_point_v, double output_resistance_ohm) {
+  ensure(count_per_edge > 0, "edge tap count must be positive");
+  std::vector<VrmTap> taps;
+  taps.reserve(static_cast<std::size_t>(count_per_edge) * 2);
+  // Left and right edges (the package ring feeds from the die periphery).
+  for (int i = 0; i < count_per_edge; ++i) {
+    const double y = die_height_m * (i + 0.5) / count_per_edge;
+    taps.push_back({1e-6, y, set_point_v, output_resistance_ohm});
+    taps.push_back({die_width_m - 1e-6, y, set_point_v, output_resistance_ohm});
+  }
+  return taps;
+}
+
+}  // namespace brightsi::pdn

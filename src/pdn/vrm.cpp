@@ -1,0 +1,32 @@
+#include "pdn/vrm.h"
+
+#include "numerics/contracts.h"
+
+namespace brightsi::pdn {
+
+void VrmSpec::validate() const {
+  ensure(efficiency > 0.0 && efficiency <= 1.0, "VRM efficiency must be in (0, 1]");
+  ensure_positive(set_point_v, "VRM set-point");
+  ensure_positive(output_resistance_ohm, "VRM output resistance");
+  ensure(count_x > 0 && count_y > 0, "VRM tap counts must be positive");
+  ensure_positive(min_input_voltage_v, "VRM minimum input voltage");
+  ensure(max_input_voltage_v > min_input_voltage_v,
+         "VRM input window must be non-empty");
+}
+
+VrmConversion convert_at_bus(const VrmSpec& spec, double output_power_w,
+                             double bus_voltage_v) {
+  spec.validate();
+  ensure_non_negative(output_power_w, "VRM output power");
+  ensure_positive(bus_voltage_v, "bus voltage");
+  VrmConversion c;
+  c.output_power_w = output_power_w;
+  c.input_power_w = output_power_w / spec.efficiency;
+  c.input_current_a = c.input_power_w / bus_voltage_v;
+  c.loss_w = c.input_power_w - c.output_power_w;
+  c.input_in_window = bus_voltage_v >= spec.min_input_voltage_v &&
+                      bus_voltage_v <= spec.max_input_voltage_v;
+  return c;
+}
+
+}  // namespace brightsi::pdn

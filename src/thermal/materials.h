@@ -1,0 +1,38 @@
+// Material properties for the compact thermal model.
+#ifndef BRIGHTSI_THERMAL_MATERIALS_H
+#define BRIGHTSI_THERMAL_MATERIALS_H
+
+namespace brightsi::thermal {
+
+/// Homogeneous solid material.
+struct Material {
+  double thermal_conductivity_w_per_m_k = 0.0;
+  double volumetric_heat_capacity_j_per_m3_k = 0.0;
+};
+
+/// Bulk silicon near operating temperature (~320-340 K); the 3D-ICE
+/// convention of a constant conductivity is kept (the +/-10 % variation of
+/// k_Si over the 27-70 C window is far below floorplan/power uncertainty).
+[[nodiscard]] inline Material silicon() { return {130.0, 1.628e6}; }
+
+/// SiO2 / BEOL-like dielectric.
+[[nodiscard]] inline Material silicon_dioxide() { return {1.38, 1.64e6}; }
+
+/// Copper (spreaders, collectors).
+[[nodiscard]] inline Material copper() { return {398.0, 3.45e6}; }
+
+/// Thermal interface material between die and spreader.
+[[nodiscard]] inline Material thermal_interface() { return {4.0, 2.0e6}; }
+
+/// Coolant bulk properties as seen by the thermal model. For the
+/// vanadium-electrolyte coolant these are Table II values.
+struct CoolantProperties {
+  double thermal_conductivity_w_per_m_k = 0.67;          ///< Table II
+  double volumetric_heat_capacity_j_per_m3_k = 4.187e6;  ///< Table II
+  double density_kg_per_m3 = 1260.0;
+  double dynamic_viscosity_pa_s = 2.53e-3;
+};
+
+}  // namespace brightsi::thermal
+
+#endif  // BRIGHTSI_THERMAL_MATERIALS_H

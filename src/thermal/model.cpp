@@ -1,0 +1,426 @@
+#include "thermal/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "chip/power_map.h"
+#include "hydraulics/duct.h"
+#include "numerics/contracts.h"
+
+namespace brightsi::thermal {
+
+void OperatingPoint::validate(bool has_channels) const {
+  if (has_channels) {
+    ensure_positive(total_flow_m3_per_s, "coolant flow");
+    ensure_positive(inlet_temperature_k, "inlet temperature");
+    ensure_positive(coolant.thermal_conductivity_w_per_m_k, "coolant conductivity");
+    ensure_positive(coolant.volumetric_heat_capacity_j_per_m3_k, "coolant heat capacity");
+    ensure_positive(coolant.density_kg_per_m3, "coolant density");
+    ensure_positive(coolant.dynamic_viscosity_pa_s, "coolant viscosity");
+  }
+}
+
+ThermalModel::ThermalModel(StackSpec stack, double die_width_m, double die_height_m,
+                           GridSettings settings)
+    : stack_(std::move(stack)), die_width_m_(die_width_m), die_height_m_(die_height_m),
+      settings_(settings) {
+  ensure_positive(die_width_m, "die width");
+  ensure_positive(die_height_m, "die height");
+  ensure(settings_.axial_cells >= 2, "need at least 2 axial cells");
+  ensure(settings_.solid_stack_x_cells >= 2, "need at least 2 x cells");
+  stack_.validate();
+  build_grid();
+}
+
+void ThermalModel::build_grid() {
+  // --- x discretization ---
+  x_edges_.clear();
+  column_channel_.clear();
+  if (stack_.has_channels()) {
+    const MicrochannelLayerSpec& ch = *stack_.channel_layer;
+    const int n = ch.channel_count;
+    const double pattern_width = n * ch.channel_width_m + (n - 1) * ch.interior_wall_width_m;
+    const double edge_wall = (die_width_m_ - pattern_width) / 2.0;
+    ensure(edge_wall > 0.0,
+           "channel pattern wider than the die: " + std::to_string(pattern_width));
+    x_edges_.push_back(0.0);
+    // edge wall | (channel | wall)*(n-1) | channel | edge wall
+    auto push_column = [&](double width, int channel_index) {
+      x_edges_.push_back(x_edges_.back() + width);
+      column_channel_.push_back(channel_index);
+    };
+    push_column(edge_wall, -1);
+    for (int c = 0; c < n; ++c) {
+      push_column(ch.channel_width_m, c);
+      if (c + 1 < n) {
+        push_column(ch.interior_wall_width_m, -1);
+      }
+    }
+    push_column(edge_wall, -1);
+  } else {
+    const int n = settings_.solid_stack_x_cells;
+    for (int i = 0; i <= n; ++i) {
+      x_edges_.push_back(die_width_m_ * i / n);
+    }
+    column_channel_.assign(static_cast<std::size_t>(n), -1);
+  }
+  nx_ = static_cast<int>(column_channel_.size());
+  dx_.resize(static_cast<std::size_t>(nx_));
+  for (int i = 0; i < nx_; ++i) {
+    dx_[static_cast<std::size_t>(i)] =
+        x_edges_[static_cast<std::size_t>(i) + 1] - x_edges_[static_cast<std::size_t>(i)];
+  }
+
+  // --- y discretization ---
+  ny_ = settings_.axial_cells;
+  dy_ = die_height_m_ / ny_;
+
+  // --- z discretization ---
+  z_slices_.clear();
+  auto push_layer = [&](const SolidLayerSpec& layer, bool channel) {
+    for (int k = 0; k < layer.z_cells; ++k) {
+      ZSlice slice;
+      slice.dz = layer.thickness_m / layer.z_cells;
+      slice.material = layer.material;
+      slice.is_channel_layer = channel;
+      slice.is_source = layer.has_heat_source && k == 0;  // bottom cell of the layer
+      z_slices_.push_back(slice);
+    }
+  };
+  for (const auto& layer : stack_.layers_below) {
+    push_layer(layer, false);
+  }
+  if (stack_.has_channels()) {
+    const MicrochannelLayerSpec& ch = *stack_.channel_layer;
+    for (int k = 0; k < ch.z_cells; ++k) {
+      ZSlice slice;
+      slice.dz = ch.layer_height_m / ch.z_cells;
+      slice.material = ch.wall_material;
+      slice.is_channel_layer = true;
+      slice.is_source = false;
+      z_slices_.push_back(slice);
+    }
+  }
+  for (const auto& layer : stack_.layers_above) {
+    push_layer(layer, false);
+  }
+  nz_ = static_cast<int>(z_slices_.size());
+}
+
+int ThermalModel::channel_count() const {
+  return stack_.has_channels() ? stack_.channel_layer->channel_count : 0;
+}
+
+double ThermalModel::film_coefficient(const OperatingPoint& op) const {
+  const MicrochannelLayerSpec& ch = *stack_.channel_layer;
+  const hydraulics::RectangularDuct duct(ch.channel_width_m, ch.layer_height_m, die_height_m_);
+  const double nusselt =
+      (ch.nusselt_override > 0.0) ? ch.nusselt_override : duct.nusselt_h1();
+  return nusselt * op.coolant.thermal_conductivity_w_per_m_k / duct.hydraulic_diameter();
+}
+
+void ThermalModel::assemble(const chip::Floorplan& floorplan, const OperatingPoint& op,
+                            double capacity_over_dt, const numerics::Grid3<double>* previous,
+                            numerics::CsrMatrix* matrix, std::vector<double>* rhs) const {
+  const auto cell_count =
+      static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_) * static_cast<std::size_t>(nz_);
+  rhs->assign(cell_count, 0.0);
+  numerics::TripletList triplets(cell_count * 7);
+
+  const double h_film = stack_.has_channels() ? film_coefficient(op) : 0.0;
+  const double per_channel_flow =
+      stack_.has_channels() ? op.total_flow_m3_per_s / channel_count() : 0.0;
+
+  // Heat sources on the (non-uniform) column grid.
+  std::vector<double> y_edges(static_cast<std::size_t>(ny_) + 1);
+  for (int i = 0; i <= ny_; ++i) {
+    y_edges[static_cast<std::size_t>(i)] = die_height_m_ * i / ny_;
+  }
+  const numerics::Grid2<double> power = chip::rasterize_power_w_on_edges(
+      floorplan, x_edges_, y_edges);
+
+  auto stamp_pair = [&](std::size_t a, std::size_t b, double conductance) {
+    triplets.add(static_cast<int>(a), static_cast<int>(a), conductance);
+    triplets.add(static_cast<int>(b), static_cast<int>(b), conductance);
+    triplets.add(static_cast<int>(a), static_cast<int>(b), -conductance);
+    triplets.add(static_cast<int>(b), static_cast<int>(a), -conductance);
+  };
+
+  // Conduction/convection between neighboring cells. A solid-solid face
+  // uses harmonic half-cell resistances; a fluid-solid face uses the solid
+  // half-cell plus the film resistance 1/h.
+  auto link = [&](int ixa, int iya, int iza, int ixb, int iyb, int izb, double area,
+                  double half_a, double half_b) {
+    const bool fa = is_fluid(ixa, iza);
+    const bool fb = is_fluid(ixb, izb);
+    const std::size_t a = index(ixa, iya, iza);
+    const std::size_t b = index(ixb, iyb, izb);
+    double resistance = 0.0;
+    if (!fa) {
+      resistance += half_a / z_slices_[static_cast<std::size_t>(iza)]
+                                 .material.thermal_conductivity_w_per_m_k;
+    }
+    if (!fb) {
+      resistance += half_b / z_slices_[static_cast<std::size_t>(izb)]
+                                 .material.thermal_conductivity_w_per_m_k;
+    }
+    if (fa != fb) {
+      resistance += 1.0 / h_film;
+    }
+    if (fa && fb) {
+      // Fluid-fluid contact (stacked z-cells of one channel): molecular
+      // conduction through the coolant.
+      resistance = (half_a + half_b) / op.coolant.thermal_conductivity_w_per_m_k;
+    }
+    stamp_pair(a, b, area / resistance);
+  };
+
+  for (int iz = 0; iz < nz_; ++iz) {
+    const ZSlice& slice = z_slices_[static_cast<std::size_t>(iz)];
+    for (int iy = 0; iy < ny_; ++iy) {
+      for (int ix = 0; ix < nx_; ++ix) {
+        const std::size_t me = index(ix, iy, iz);
+        const bool fluid = is_fluid(ix, iz);
+        const double dxc = dx_[static_cast<std::size_t>(ix)];
+
+        // +x neighbor.
+        if (ix + 1 < nx_) {
+          link(ix, iy, iz, ix + 1, iy, iz, dy_ * slice.dz, dxc / 2.0,
+               dx_[static_cast<std::size_t>(ix) + 1] / 2.0);
+        }
+        // +y neighbor: conduction for solids; fluid handles y by advection.
+        if (iy + 1 < ny_ && !fluid) {
+          link(ix, iy, iz, ix, iy + 1, iz, dxc * slice.dz, dy_ / 2.0, dy_ / 2.0);
+        }
+        // +z neighbor.
+        if (iz + 1 < nz_) {
+          link(ix, iy, iz, ix, iy, iz + 1, dxc * dy_, slice.dz / 2.0,
+               z_slices_[static_cast<std::size_t>(iz) + 1].dz / 2.0);
+        }
+
+        // Advection for fluid cells: upwind from -y.
+        if (fluid) {
+          const double flow_fraction = slice.dz / stack_.channel_layer->layer_height_m;
+          const double c_adv = op.coolant.volumetric_heat_capacity_j_per_m3_k *
+                               per_channel_flow * flow_fraction;
+          triplets.add(static_cast<int>(me), static_cast<int>(me), c_adv);
+          if (iy == 0) {
+            (*rhs)[me] += c_adv * op.inlet_temperature_k;
+          } else {
+            triplets.add(static_cast<int>(me), static_cast<int>(index(ix, iy - 1, iz)), -c_adv);
+          }
+        }
+
+        // Top convective boundary.
+        if (iz == nz_ - 1 && stack_.top_heat_transfer_w_per_m2_k > 0.0 && !fluid) {
+          const double area = dxc * dy_;
+          const double resistance =
+              slice.dz / 2.0 / slice.material.thermal_conductivity_w_per_m_k +
+              1.0 / stack_.top_heat_transfer_w_per_m2_k;
+          const double g = area / resistance;
+          triplets.add(static_cast<int>(me), static_cast<int>(me), g);
+          (*rhs)[me] += g * stack_.ambient_temperature_k;
+        }
+
+        // Heat sources.
+        if (slice.is_source) {
+          (*rhs)[me] += power(ix, iy);
+        }
+
+        // Backward-Euler mass term.
+        if (capacity_over_dt > 0.0) {
+          const double cap =
+              fluid ? op.coolant.volumetric_heat_capacity_j_per_m3_k
+                    : slice.material.volumetric_heat_capacity_j_per_m3_k;
+          const double c_dt = cap * dxc * dy_ * slice.dz * capacity_over_dt;
+          triplets.add(static_cast<int>(me), static_cast<int>(me), c_dt);
+          (*rhs)[me] += c_dt * (*previous)(ix, iy, iz);
+        }
+      }
+    }
+  }
+
+  *matrix = numerics::CsrMatrix::from_triplets(static_cast<int>(cell_count),
+                                               static_cast<int>(cell_count), triplets);
+}
+
+ThermalSolution ThermalModel::solve_steady(const chip::Floorplan& floorplan,
+                                           const OperatingPoint& op) const {
+  op.validate(stack_.has_channels());
+  ensure(!stack_.has_channels() || stack_.top_heat_transfer_w_per_m2_k > 0.0 ||
+             op.total_flow_m3_per_s > 0.0,
+         "steady solve needs a heat sink (coolant flow or top film)");
+  ensure(stack_.has_channels() || stack_.top_heat_transfer_w_per_m2_k > 0.0,
+         "solid stack needs a top film coefficient for a steady solution");
+
+  numerics::CsrMatrix matrix;
+  std::vector<double> rhs;
+  assemble(floorplan, op, 0.0, nullptr, &matrix, &rhs);
+
+  std::vector<double> temperatures(rhs.size(), op.inlet_temperature_k);
+  const numerics::Ilu0Preconditioner precond(matrix);
+  const numerics::SolverReport report =
+      numerics::solve_bicgstab(matrix, rhs, temperatures, &precond, settings_.solver);
+  if (!report.converged) {
+    throw std::runtime_error("ThermalModel::solve_steady: BiCGSTAB did not converge (residual " +
+                             std::to_string(report.residual_norm) + ")");
+  }
+  return package_solution(std::move(temperatures), floorplan, op, report);
+}
+
+ThermalSolution ThermalModel::step_transient(const numerics::Grid3<double>& state,
+                                             const chip::Floorplan& floorplan,
+                                             const OperatingPoint& op, double dt_s) const {
+  op.validate(stack_.has_channels());
+  ensure_positive(dt_s, "transient step");
+  ensure(state.nx() == nx_ && state.ny() == ny_ && state.nz() == nz_,
+         "transient state has the wrong shape");
+
+  numerics::CsrMatrix matrix;
+  std::vector<double> rhs;
+  assemble(floorplan, op, 1.0 / dt_s, &state, &matrix, &rhs);
+
+  std::vector<double> temperatures(state.data());
+  const numerics::Ilu0Preconditioner precond(matrix);
+  const numerics::SolverReport report =
+      numerics::solve_bicgstab(matrix, rhs, temperatures, &precond, settings_.solver);
+  if (!report.converged) {
+    throw std::runtime_error("ThermalModel::step_transient: BiCGSTAB did not converge");
+  }
+  return package_solution(std::move(temperatures), floorplan, op, report);
+}
+
+numerics::Grid3<double> ThermalModel::uniform_state(double temperature_k) const {
+  return numerics::Grid3<double>(nx_, ny_, nz_, temperature_k);
+}
+
+ThermalSolution ThermalModel::package_solution(std::vector<double> temperatures,
+                                               const chip::Floorplan& floorplan,
+                                               const OperatingPoint& op,
+                                               numerics::SolverReport report) const {
+  ThermalSolution out;
+  out.solver_report = report;
+  out.temperature_k = numerics::Grid3<double>(nx_, ny_, nz_, 0.0);
+  out.temperature_k.data() = std::move(temperatures);
+
+  // Peak.
+  out.peak_temperature_k = -1.0;
+  for (int iz = 0; iz < nz_; ++iz) {
+    for (int iy = 0; iy < ny_; ++iy) {
+      for (int ix = 0; ix < nx_; ++ix) {
+        const double t = out.temperature_k(ix, iy, iz);
+        if (t > out.peak_temperature_k) {
+          out.peak_temperature_k = t;
+          out.peak_ix = ix;
+          out.peak_iy = iy;
+          out.peak_iz = iz;
+        }
+      }
+    }
+  }
+
+  // Source-layer map and per-block summaries.
+  int source_iz = 0;
+  for (int iz = 0; iz < nz_; ++iz) {
+    if (z_slices_[static_cast<std::size_t>(iz)].is_source) {
+      source_iz = iz;
+      break;
+    }
+  }
+  out.source_layer_map_k = numerics::Grid2<double>(nx_, ny_, 0.0);
+  for (int iy = 0; iy < ny_; ++iy) {
+    for (int ix = 0; ix < nx_; ++ix) {
+      out.source_layer_map_k(ix, iy) = out.temperature_k(ix, iy, source_iz);
+    }
+  }
+  for (const chip::Block& block : floorplan.blocks()) {
+    BlockTemperature bt;
+    bt.name = block.name;
+    double weighted = 0.0;
+    double area = 0.0;
+    bt.max_k = 0.0;
+    for (int iy = 0; iy < ny_; ++iy) {
+      for (int ix = 0; ix < nx_; ++ix) {
+        const chip::Rect cell{x_edges_[static_cast<std::size_t>(ix)], dy_ * iy,
+                              dx_[static_cast<std::size_t>(ix)], dy_};
+        const double overlap = cell.intersection_area(block.footprint);
+        if (overlap > 0.0) {
+          weighted += out.source_layer_map_k(ix, iy) * overlap;
+          area += overlap;
+          bt.max_k = std::max(bt.max_k, out.source_layer_map_k(ix, iy));
+        }
+      }
+    }
+    bt.mean_k = (area > 0.0) ? weighted / area : 0.0;
+    out.block_temperatures.push_back(bt);
+  }
+
+  // Channel fluid profiles + energy bookkeeping.
+  out.total_power_w = floorplan.total_power();
+  if (stack_.has_channels()) {
+    const int n_channels = channel_count();
+    out.channel_fluid_axial_k.assign(static_cast<std::size_t>(n_channels),
+                                     std::vector<double>(static_cast<std::size_t>(ny_), 0.0));
+    out.channel_outlet_k.assign(static_cast<std::size_t>(n_channels), 0.0);
+    const double per_channel_flow = op.total_flow_m3_per_s / n_channels;
+
+    std::vector<int> fluid_z;
+    for (int iz = 0; iz < nz_; ++iz) {
+      if (z_slices_[static_cast<std::size_t>(iz)].is_channel_layer) {
+        fluid_z.push_back(iz);
+      }
+    }
+    for (int ix = 0; ix < nx_; ++ix) {
+      const int c = column_channel_[static_cast<std::size_t>(ix)];
+      if (c < 0) {
+        continue;
+      }
+      for (int iy = 0; iy < ny_; ++iy) {
+        double sum = 0.0;
+        for (const int iz : fluid_z) {
+          sum += out.temperature_k(ix, iy, iz);
+        }
+        out.channel_fluid_axial_k[static_cast<std::size_t>(c)][static_cast<std::size_t>(iy)] =
+            sum / static_cast<double>(fluid_z.size());
+      }
+      out.channel_outlet_k[static_cast<std::size_t>(c)] =
+          out.channel_fluid_axial_k[static_cast<std::size_t>(c)].back();
+
+      // Advected heat: per z-cell flow share times the outlet/inlet delta.
+      for (const int iz : fluid_z) {
+        const double flow_fraction = z_slices_[static_cast<std::size_t>(iz)].dz /
+                                     stack_.channel_layer->layer_height_m;
+        const double c_adv = op.coolant.volumetric_heat_capacity_j_per_m3_k *
+                             per_channel_flow * flow_fraction;
+        out.fluid_heat_absorbed_w +=
+            c_adv * (out.temperature_k(ix, ny_ - 1, iz) - op.inlet_temperature_k);
+      }
+    }
+  }
+  if (stack_.top_heat_transfer_w_per_m2_k > 0.0) {
+    const int iz = nz_ - 1;
+    const ZSlice& slice = z_slices_[static_cast<std::size_t>(iz)];
+    for (int iy = 0; iy < ny_; ++iy) {
+      for (int ix = 0; ix < nx_; ++ix) {
+        if (is_fluid(ix, iz)) {
+          continue;
+        }
+        const double area = dx_[static_cast<std::size_t>(ix)] * dy_;
+        const double resistance =
+            slice.dz / 2.0 / slice.material.thermal_conductivity_w_per_m_k +
+            1.0 / stack_.top_heat_transfer_w_per_m2_k;
+        out.top_heat_rejected_w += area / resistance *
+                                   (out.temperature_k(ix, iy, iz) - stack_.ambient_temperature_k);
+      }
+    }
+  }
+  if (out.total_power_w > 0.0) {
+    out.energy_balance_error =
+        std::abs(out.total_power_w - out.fluid_heat_absorbed_w - out.top_heat_rejected_w) /
+        out.total_power_w;
+  }
+  return out;
+}
+
+}  // namespace brightsi::thermal

@@ -1,0 +1,150 @@
+// Compact finite-volume thermal model of the die + microchannel package
+// (3D-ICE-style; DESIGN.md substitution table).
+//
+// The die is discretized into a 3-D grid: x columns follow the
+// channel/wall pattern of the microchannel layer exactly (or are uniform
+// for solid stacks), y runs along the flow direction, z through the layer
+// stack. Solid cells exchange heat by conduction (harmonic-mean
+// conductances); coolant cells exchange with their four walls through a
+// Nusselt-correlation film coefficient and advect enthalpy downstream with
+// first-order upwinding; the inlet enters at a fixed temperature and the
+// outlet is free. Steady solves use ILU(0)-preconditioned BiCGSTAB;
+// transients use backward Euler on the same operator.
+#ifndef BRIGHTSI_THERMAL_MODEL_H
+#define BRIGHTSI_THERMAL_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "chip/floorplan.h"
+#include "numerics/grid.h"
+#include "numerics/linear_solvers.h"
+#include "thermal/stack.h"
+
+namespace brightsi::thermal {
+
+/// Coolant flow and inlet state for one solve.
+struct OperatingPoint {
+  double total_flow_m3_per_s = 0.0;   ///< across all channels; ignored for solid stacks
+  double inlet_temperature_k = 300.0; ///< Table II: 300 K (27 C)
+  CoolantProperties coolant;
+
+  void validate(bool has_channels) const;
+};
+
+/// Per-block temperature summary.
+struct BlockTemperature {
+  std::string name;
+  double mean_k = 0.0;
+  double max_k = 0.0;
+};
+
+/// Result of a steady (or one transient step) thermal solve.
+struct ThermalSolution {
+  numerics::Grid3<double> temperature_k;       ///< full field
+  numerics::Grid2<double> source_layer_map_k;  ///< die active-layer temperatures
+  double peak_temperature_k = 0.0;
+  int peak_ix = 0, peak_iy = 0, peak_iz = 0;
+  std::vector<BlockTemperature> block_temperatures;
+
+  /// Axial coolant temperature per channel (inlet->outlet), averaged over
+  /// the channel's z-cells. Feeds the flow-cell electrochemistry.
+  std::vector<std::vector<double>> channel_fluid_axial_k;
+  std::vector<double> channel_outlet_k;
+
+  double total_power_w = 0.0;
+  double fluid_heat_absorbed_w = 0.0;  ///< advected out minus advected in
+  double top_heat_rejected_w = 0.0;    ///< through the optional top film
+  /// |power - absorbed - rejected| / power; rounding-level when converged.
+  double energy_balance_error = 0.0;
+
+  numerics::SolverReport solver_report;
+};
+
+/// Discretization and solver controls of a ThermalModel.
+struct ThermalGridSettings {
+  int axial_cells = 32;          ///< y-cells along the flow direction
+  int solid_stack_x_cells = 64;  ///< x-columns when the stack has no channels
+  numerics::SolverOptions solver;
+};
+
+class ThermalModel {
+ public:
+  using GridSettings = ThermalGridSettings;
+
+  /// Builds the static grid for `stack` over a die of the given outline.
+  ThermalModel(StackSpec stack, double die_width_m, double die_height_m,
+               GridSettings settings = GridSettings());
+
+  /// Steady solve under the floorplan's current power densities.
+  [[nodiscard]] ThermalSolution solve_steady(const chip::Floorplan& floorplan,
+                                             const OperatingPoint& operating_point) const;
+
+  /// One backward-Euler step of length `dt_s` from `state` (a full
+  /// temperature field, e.g. the previous solution). Returns the new state
+  /// with the same diagnostics as a steady solve.
+  [[nodiscard]] ThermalSolution step_transient(const numerics::Grid3<double>& state,
+                                               const chip::Floorplan& floorplan,
+                                               const OperatingPoint& operating_point,
+                                               double dt_s) const;
+
+  /// Uniform-temperature initial state.
+  [[nodiscard]] numerics::Grid3<double> uniform_state(double temperature_k) const;
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] int nz() const { return nz_; }
+  [[nodiscard]] int channel_count() const;
+  [[nodiscard]] const StackSpec& stack() const { return stack_; }
+  [[nodiscard]] const std::vector<double>& x_edges() const { return x_edges_; }
+
+ private:
+  struct ZSlice {
+    double dz = 0.0;
+    Material material;        // solid material (walls for the channel layer)
+    bool is_channel_layer = false;
+    bool is_source = false;   // floorplan power deposited here
+  };
+
+  StackSpec stack_;
+  double die_width_m_;
+  double die_height_m_;
+  GridSettings settings_;
+
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  std::vector<double> x_edges_;        // nx+1
+  std::vector<double> dx_;             // per column
+  double dy_ = 0.0;
+  std::vector<ZSlice> z_slices_;       // nz entries
+  std::vector<int> column_channel_;    // per column: channel index or -1 (wall)
+
+  void build_grid();
+  [[nodiscard]] std::size_t index(int ix, int iy, int iz) const {
+    return (static_cast<std::size_t>(iz) * static_cast<std::size_t>(ny_) +
+            static_cast<std::size_t>(iy)) *
+               static_cast<std::size_t>(nx_) +
+           static_cast<std::size_t>(ix);
+  }
+  [[nodiscard]] bool is_fluid(int ix, int iz) const {
+    return z_slices_[static_cast<std::size_t>(iz)].is_channel_layer &&
+           column_channel_[static_cast<std::size_t>(ix)] >= 0;
+  }
+
+  /// Assembles the steady operator and RHS; `capacity_over_dt` adds the
+  /// backward-Euler mass term when positive (with `previous` as the old
+  /// state).
+  void assemble(const chip::Floorplan& floorplan, const OperatingPoint& op,
+                double capacity_over_dt, const numerics::Grid3<double>* previous,
+                numerics::CsrMatrix* matrix, std::vector<double>* rhs) const;
+
+  [[nodiscard]] ThermalSolution package_solution(std::vector<double> temperatures,
+                                                 const chip::Floorplan& floorplan,
+                                                 const OperatingPoint& op,
+                                                 numerics::SolverReport report) const;
+
+  [[nodiscard]] double film_coefficient(const OperatingPoint& op) const;
+};
+
+}  // namespace brightsi::thermal
+
+#endif  // BRIGHTSI_THERMAL_MODEL_H

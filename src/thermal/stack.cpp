@@ -1,0 +1,68 @@
+#include "thermal/stack.h"
+
+#include "numerics/contracts.h"
+
+namespace brightsi::thermal {
+
+void StackSpec::validate() const {
+  ensure(!layers_below.empty(), "stack needs at least one layer below the channel layer");
+  bool any_source = false;
+  auto check_layer = [&](const SolidLayerSpec& layer) {
+    ensure(!layer.name.empty(), "stack layer must be named");
+    ensure_positive(layer.thickness_m, "layer thickness (" + layer.name + ")");
+    ensure(layer.z_cells >= 1, "layer z_cells (" + layer.name + ")");
+    ensure_positive(layer.material.thermal_conductivity_w_per_m_k,
+                    "layer conductivity (" + layer.name + ")");
+    ensure_positive(layer.material.volumetric_heat_capacity_j_per_m3_k,
+                    "layer heat capacity (" + layer.name + ")");
+    any_source = any_source || layer.has_heat_source;
+  };
+  for (const auto& layer : layers_below) {
+    check_layer(layer);
+  }
+  for (const auto& layer : layers_above) {
+    check_layer(layer);
+  }
+  ensure(any_source, "no layer carries the heat sources");
+  if (channel_layer) {
+    ensure(channel_layer->channel_count > 0, "channel count");
+    ensure_positive(channel_layer->channel_width_m, "channel width");
+    ensure_positive(channel_layer->interior_wall_width_m, "interior wall width");
+    ensure_positive(channel_layer->layer_height_m, "channel layer height");
+    ensure(channel_layer->z_cells >= 1, "channel layer z_cells");
+  }
+  ensure_non_negative(top_heat_transfer_w_per_m2_k, "top heat transfer coefficient");
+  ensure_positive(ambient_temperature_k, "ambient temperature");
+}
+
+StackSpec power7_microchannel_stack() {
+  StackSpec stack;
+  stack.layers_below = {
+      {"active", 10e-6, 1, silicon(), /*has_heat_source=*/true},
+      {"bulk_si", 650e-6, 3, silicon(), false},
+  };
+  stack.channel_layer = MicrochannelLayerSpec{};
+  stack.channel_layer->nusselt_override = 3.54;  // three heated walls, H1
+  stack.layers_above = {
+      {"cap_si", 100e-6, 1, silicon(), false},
+  };
+  stack.validate();
+  return stack;
+}
+
+StackSpec power7_conventional_stack(double effective_sink_h_w_per_m2_k, double ambient_k) {
+  StackSpec stack;
+  stack.layers_below = {
+      {"active", 10e-6, 1, silicon(), /*has_heat_source=*/true},
+      {"bulk_si", 750e-6, 3, silicon(), false},
+      {"tim", 50e-6, 1, thermal_interface(), false},
+      {"spreader", 2e-3, 2, copper(), false},
+  };
+  stack.channel_layer.reset();
+  stack.top_heat_transfer_w_per_m2_k = effective_sink_h_w_per_m2_k;
+  stack.ambient_temperature_k = ambient_k;
+  stack.validate();
+  return stack;
+}
+
+}  // namespace brightsi::thermal

@@ -1,0 +1,48 @@
+#include "thermal/trace_runner.h"
+
+#include "numerics/contracts.h"
+
+namespace brightsi::thermal {
+
+TraceResult run_thermal_trace(const ThermalModel& model,
+                              const chip::Power7PowerSpec& power_spec,
+                              const chip::WorkloadTrace& trace,
+                              const OperatingPoint& operating_point, double dt_s,
+                              const numerics::Grid3<double>* initial_state) {
+  ensure_positive(dt_s, "trace step");
+  TraceResult result;
+  numerics::Grid3<double> state =
+      initial_state ? *initial_state : model.uniform_state(operating_point.inlet_temperature_k);
+
+  const double total = trace.total_duration_s();
+  const int steps = static_cast<int>(total / dt_s);
+  result.samples.reserve(static_cast<std::size_t>(steps));
+
+  for (int step = 0; step < steps; ++step) {
+    const double t = (step + 0.5) * dt_s;
+    const chip::WorkloadPhase& phase = trace.phase_at(t);
+    const chip::Floorplan floorplan = chip::apply_phase(power_spec, phase);
+    const ThermalSolution sol = model.step_transient(state, floorplan, operating_point, dt_s);
+    state = sol.temperature_k;
+
+    TraceSample sample;
+    sample.time_s = (step + 1) * dt_s;
+    sample.phase = phase.name;
+    sample.peak_temperature_k = sol.peak_temperature_k;
+    sample.total_power_w = floorplan.total_power();
+    if (!sol.channel_outlet_k.empty()) {
+      double sum = 0.0;
+      for (const double v : sol.channel_outlet_k) {
+        sum += v;
+      }
+      sample.mean_outlet_k = sum / static_cast<double>(sol.channel_outlet_k.size());
+    }
+    result.max_peak_temperature_k =
+        std::max(result.max_peak_temperature_k, sol.peak_temperature_k);
+    result.samples.push_back(std::move(sample));
+  }
+  result.final_state = std::move(state);
+  return result;
+}
+
+}  // namespace brightsi::thermal

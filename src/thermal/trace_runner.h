@@ -1,0 +1,42 @@
+// Transient trace runner: steps a WorkloadTrace through the thermal model
+// and records the thermal time series (peak, per-channel outlet, block
+// maxima), for governor studies and the transient example.
+#ifndef BRIGHTSI_THERMAL_TRACE_RUNNER_H
+#define BRIGHTSI_THERMAL_TRACE_RUNNER_H
+
+#include <vector>
+
+#include "chip/workload.h"
+#include "thermal/model.h"
+
+namespace brightsi::thermal {
+
+/// One recorded sample of a transient run.
+struct TraceSample {
+  double time_s = 0.0;
+  std::string phase;
+  double peak_temperature_k = 0.0;
+  double mean_outlet_k = 0.0;
+  double total_power_w = 0.0;
+};
+
+/// Result of a transient run: sampled series plus the final state (which
+/// can seed a follow-up run).
+struct TraceResult {
+  std::vector<TraceSample> samples;
+  numerics::Grid3<double> final_state;
+  double max_peak_temperature_k = 0.0;
+};
+
+/// Steps `trace` through `model` with backward-Euler steps of `dt_s`,
+/// starting from a uniform field at the coolant inlet temperature (or from
+/// `initial_state` when provided). Records one sample per step.
+[[nodiscard]] TraceResult run_thermal_trace(const ThermalModel& model,
+                                            const chip::Power7PowerSpec& power_spec,
+                                            const chip::WorkloadTrace& trace,
+                                            const OperatingPoint& operating_point, double dt_s,
+                                            const numerics::Grid3<double>* initial_state = nullptr);
+
+}  // namespace brightsi::thermal
+
+#endif  // BRIGHTSI_THERMAL_TRACE_RUNNER_H

@@ -1,0 +1,251 @@
+// Tests of the hydraulics module: friction correlation limits, pressure
+// drop against analytic cases, exact velocity-profile properties, Nusselt
+// table, pump power and manifold splitting.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hydraulics/dimensionless.h"
+#include "hydraulics/duct.h"
+#include "hydraulics/manifold.h"
+#include "hydraulics/pump.h"
+
+namespace hy = brightsi::hydraulics;
+
+namespace {
+
+// ------------------------------------------------------------------ ducts
+TEST(Duct, HydraulicDiameterOfSquare) {
+  const hy::RectangularDuct d(1e-3, 1e-3, 0.1);
+  EXPECT_NEAR(d.hydraulic_diameter(), 1e-3, 1e-12);
+}
+
+TEST(Duct, HydraulicDiameterOfTableIIChannel) {
+  const hy::RectangularDuct d(200e-6, 400e-6, 22e-3);
+  EXPECT_NEAR(d.hydraulic_diameter(), 4.0 * 8e-8 / 1.2e-3, 1e-12);  // 266.7 um
+}
+
+TEST(Duct, FrictionFactorSquareDuct) {
+  const hy::RectangularDuct d(1e-3, 1e-3, 0.1);
+  EXPECT_NEAR(d.friction_factor_reynolds(), 14.23, 0.05);  // Shah-London
+}
+
+TEST(Duct, FrictionFactorParallelPlateLimit) {
+  const hy::RectangularDuct d(1e-6, 1.0, 0.1);  // aspect -> 0
+  EXPECT_NEAR(d.friction_factor_reynolds(), 24.0, 0.01);
+}
+
+TEST(Duct, PressureDropParallelPlatesAnalytic) {
+  // dp/L = 12 mu v / h^2 for plates of gap h.
+  const double h = 100e-6;
+  const hy::RectangularDuct d(h, 10.0, 1.0);  // effectively parallel plates
+  const double mu = 1e-3;
+  const double v = 0.5;
+  EXPECT_NEAR(d.pressure_gradient_pa_per_m(mu, v), 12.0 * mu * v / (h * h), 120.0);
+  // (tolerance ~0.02 % of the 6e5 Pa/m value)
+}
+
+TEST(Duct, PressureDropScalesLinearlyInVelocityAndLength) {
+  const hy::RectangularDuct d(200e-6, 400e-6, 22e-3);
+  const double dp1 = d.pressure_drop_pa(2.53e-3, 1.0);
+  EXPECT_NEAR(d.pressure_drop_pa(2.53e-3, 2.0), 2.0 * dp1, 1e-9);
+  const hy::RectangularDuct d2(200e-6, 400e-6, 44e-3);
+  EXPECT_NEAR(d2.pressure_drop_pa(2.53e-3, 1.0), 2.0 * dp1, 1e-9);
+}
+
+TEST(Duct, TableIIOperatingPoint) {
+  // 676 ml/min over 88 channels of 200x400 um: v = 1.6 m/s, Re ~ 213,
+  // laminar; dp ~ 0.39 bar over 22 mm.
+  const hy::RectangularDuct d(200e-6, 400e-6, 22e-3);
+  const double per_channel = 676e-6 / 60.0 / 88.0;
+  const double v = d.mean_velocity(per_channel);
+  EXPECT_NEAR(v, 1.60, 0.01);
+  EXPECT_NEAR(d.reynolds(1260.0, 2.53e-3, v), 213.0, 2.0);
+  EXPECT_NEAR(d.pressure_drop_pa(2.53e-3, v), 3.9e4, 1e3);
+}
+
+TEST(Duct, MeanVelocityFromFlow) {
+  const hy::RectangularDuct d(1e-3, 2e-3, 0.1);
+  EXPECT_DOUBLE_EQ(d.mean_velocity(2e-6), 1.0);
+}
+
+TEST(Duct, NusseltTableAnchors) {
+  const hy::RectangularDuct square(1e-3, 1e-3, 0.1);
+  EXPECT_NEAR(square.nusselt_h1(), 3.608, 1e-6);
+  const hy::RectangularDuct half(1e-3, 2e-3, 0.1);
+  EXPECT_NEAR(half.nusselt_h1(), 4.123, 1e-6);
+  const hy::RectangularDuct plates(1e-6, 1.0, 0.1);
+  EXPECT_NEAR(plates.nusselt_h1(), 8.235, 1e-2);
+}
+
+TEST(Duct, HydraulicConductanceMatchesPressureDrop) {
+  const hy::RectangularDuct d(200e-6, 400e-6, 22e-3);
+  const double mu = 2.53e-3;
+  const double q = 1e-7;
+  const double dp = d.pressure_drop_pa(mu, d.mean_velocity(q));
+  EXPECT_NEAR(d.hydraulic_conductance(mu) * dp, q, q * 1e-9);
+}
+
+TEST(Duct, RejectsNonPositiveGeometry) {
+  EXPECT_THROW(hy::RectangularDuct(0.0, 1e-3, 0.1), std::invalid_argument);
+  EXPECT_THROW(hy::RectangularDuct(1e-3, -1e-3, 0.1), std::invalid_argument);
+  EXPECT_THROW(hy::RectangularDuct(1e-3, 1e-3, 0.0), std::invalid_argument);
+}
+
+// -------------------------------------------------------- velocity profile
+TEST(VelocityProfile, VanishesAtWallsAndPeaksAtCenter) {
+  const hy::RectangularDuct d(2e-3, 150e-6, 33e-3);
+  const hy::DuctVelocityProfile profile(d);
+  EXPECT_NEAR(profile.normalized_at(0.0, 75e-6), 0.0, 1e-6);
+  EXPECT_NEAR(profile.normalized_at(2e-3, 75e-6), 0.0, 1e-6);
+  EXPECT_NEAR(profile.normalized_at(1e-3, 0.0), 0.0, 1e-6);
+  EXPECT_GT(profile.normalized_at(1e-3, 75e-6), 1.0);
+}
+
+TEST(VelocityProfile, DepthAveragedMeanIsOne) {
+  const hy::RectangularDuct d(200e-6, 400e-6, 22e-3);
+  const hy::DuctVelocityProfile profile(d);
+  const int n = 400;
+  double mean = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double y = (i + 0.5) * 200e-6 / n;
+    mean += profile.depth_averaged(y);
+  }
+  mean /= n;
+  EXPECT_NEAR(mean, 1.0, 1e-3);
+}
+
+TEST(VelocityProfile, SquareDuctPeakToMeanRatio) {
+  // Exact value for a square duct: u_max / u_mean = 2.0962.
+  const hy::RectangularDuct d(1e-3, 1e-3, 0.1);
+  const hy::DuctVelocityProfile profile(d, 101);
+  EXPECT_NEAR(profile.normalized_at(0.5e-3, 0.5e-3), 2.0962, 5e-3);
+}
+
+TEST(VelocityProfile, NearParabolicAcrossNarrowGap) {
+  // For a duct much taller than wide, the depth-averaged profile across
+  // the gap approaches the parabola 1.5 (1 - (2y/W - 1)^2).
+  const hy::RectangularDuct d(200e-6, 4000e-6, 22e-3);
+  const hy::DuctVelocityProfile profile(d);
+  const double center = profile.depth_averaged(100e-6);
+  EXPECT_NEAR(center, 1.5, 0.03);
+  const double quarter = profile.depth_averaged(50e-6);
+  EXPECT_NEAR(quarter, 1.5 * 0.75, 0.04);
+}
+
+TEST(VelocityProfile, SymmetricAboutCenterline) {
+  const hy::RectangularDuct d(2e-3, 150e-6, 33e-3);
+  const hy::DuctVelocityProfile profile(d);
+  for (const double y : {0.2e-3, 0.5e-3, 0.9e-3}) {
+    EXPECT_NEAR(profile.depth_averaged(y), profile.depth_averaged(2e-3 - y), 1e-9);
+  }
+}
+
+TEST(VelocityProfile, RejectsOutOfDuctQueries) {
+  const hy::RectangularDuct d(1e-3, 1e-3, 0.1);
+  const hy::DuctVelocityProfile profile(d);
+  EXPECT_THROW(profile.depth_averaged(-1e-6), std::invalid_argument);
+  EXPECT_THROW(profile.depth_averaged(1.1e-3), std::invalid_argument);
+  EXPECT_THROW(profile.normalized_at(0.5e-3, 2e-3), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- pump
+TEST(Pump, PaperPumpingEquation) {
+  // P = dp * V / eta (Section III-B). With the paper's numbers
+  // (dp = 1.95e5 Pa implied by their 4.4 W at 676 ml/min, eta = 0.5).
+  const double flow = 676e-6 / 60.0;
+  EXPECT_NEAR(hy::pumping_power_w(1.95e5, flow, 0.5), 4.4, 0.01);
+}
+
+TEST(Pump, EfficiencyScaling) {
+  EXPECT_DOUBLE_EQ(hy::pumping_power_w(1e5, 1e-5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(hy::pumping_power_w(1e5, 1e-5, 0.5), 2.0);
+}
+
+TEST(Pump, RejectsBadEfficiency) {
+  EXPECT_THROW(hy::pumping_power_w(1.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(hy::pumping_power_w(1.0, 1.0, 1.5), std::invalid_argument);
+}
+
+TEST(Pump, MinorLossQuadraticInVelocity) {
+  const double k = 1.5;
+  EXPECT_NEAR(hy::minor_loss_pa(k, 1260.0, 2.0) / hy::minor_loss_pa(k, 1260.0, 1.0), 4.0,
+              1e-12);
+}
+
+// ----------------------------------------------------------- dimensionless
+TEST(Dimensionless, ReynoldsDefinition) {
+  EXPECT_DOUBLE_EQ(hy::reynolds_number(1000.0, 1.0, 1e-3, 1e-3), 1000.0);
+}
+
+TEST(Dimensionless, SchmidtAndPecletConsistency) {
+  const double re = hy::reynolds_number(1260.0, 1.6, 2.667e-4, 2.53e-3);
+  const double sc = hy::schmidt_number(2.53e-3, 1260.0, 1.26e-10);
+  const double pe = hy::peclet_mass(1.6, 2.667e-4, 1.26e-10);
+  EXPECT_NEAR(re * sc, pe, pe * 1e-9);
+}
+
+TEST(Dimensionless, FilmThicknessSqrtGrowth) {
+  const double d1 = hy::film_boundary_layer_thickness(1e-10, 0.01, 1.0);
+  const double d2 = hy::film_boundary_layer_thickness(1e-10, 0.04, 1.0);
+  EXPECT_NEAR(d2 / d1, 2.0, 1e-9);
+}
+
+TEST(Dimensionless, EntranceLength) {
+  EXPECT_NEAR(hy::hydrodynamic_entrance_length(213.0, 2.667e-4), 2.84e-3, 1e-4);
+}
+
+// ----------------------------------------------------------------- manifold
+TEST(Manifold, UniformSplitConservesFlow) {
+  const auto split = hy::split_uniform(88e-6, 88);
+  EXPECT_EQ(split.size(), 88u);
+  double total = 0.0;
+  for (const double q : split) {
+    EXPECT_DOUBLE_EQ(q, 1e-6);
+    total += q;
+  }
+  EXPECT_NEAR(total, 88e-6, 1e-15);
+}
+
+TEST(Manifold, IdenticalChannelsSplitEqually) {
+  std::vector<hy::RectangularDuct> ducts;
+  for (int i = 0; i < 4; ++i) {
+    ducts.emplace_back(200e-6, 400e-6, 22e-3);
+  }
+  const auto split = hy::split_by_conductance(4e-6, ducts, 2.53e-3);
+  for (const double q : split.per_channel_flow_m3_per_s) {
+    EXPECT_NEAR(q, 1e-6, 1e-15);
+  }
+}
+
+TEST(Manifold, WiderChannelTakesMoreFlow) {
+  std::vector<hy::RectangularDuct> ducts = {
+      hy::RectangularDuct(200e-6, 400e-6, 22e-3),
+      hy::RectangularDuct(400e-6, 400e-6, 22e-3),
+  };
+  const auto split = hy::split_by_conductance(2e-6, ducts, 2.53e-3);
+  EXPECT_GT(split.per_channel_flow_m3_per_s[1], split.per_channel_flow_m3_per_s[0]);
+  EXPECT_NEAR(split.per_channel_flow_m3_per_s[0] + split.per_channel_flow_m3_per_s[1], 2e-6,
+              1e-15);
+}
+
+TEST(Manifold, CommonPressureDropIsConsistent) {
+  std::vector<hy::RectangularDuct> ducts = {
+      hy::RectangularDuct(200e-6, 400e-6, 22e-3),
+      hy::RectangularDuct(300e-6, 400e-6, 22e-3),
+  };
+  const double mu = 2.53e-3;
+  const auto split = hy::split_by_conductance(2e-6, ducts, mu);
+  for (std::size_t i = 0; i < ducts.size(); ++i) {
+    const double v = ducts[i].mean_velocity(split.per_channel_flow_m3_per_s[i]);
+    EXPECT_NEAR(ducts[i].pressure_drop_pa(mu, v), split.common_pressure_drop_pa,
+                split.common_pressure_drop_pa * 1e-9);
+  }
+}
+
+TEST(Manifold, EmptyChannelListThrows) {
+  const std::vector<hy::RectangularDuct> none;
+  EXPECT_THROW(hy::split_by_conductance(1e-6, none, 1e-3), std::invalid_argument);
+}
+
+}  // namespace

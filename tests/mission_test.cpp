@@ -1,0 +1,116 @@
+// Tests of the mission simulator: SOC integration, supply feasibility
+// tracking, thermal/workload coupling and failure reporting.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/mission.h"
+
+namespace co = brightsi::core;
+namespace ch = brightsi::chip;
+namespace ec = brightsi::electrochem;
+
+namespace {
+
+co::MissionConfig fast_mission(double duration_s = 1.0, double tank_liters = 1.0) {
+  co::MissionConfig config;
+  config.system = co::power7_system_config();
+  config.system.thermal_grid.axial_cells = 8;
+  config.system.fvm.axial_steps = 60;
+  config.workload = ch::full_load_trace(duration_s);
+  config.reservoir.tank_volume_m3 = tank_liters * 1e-3;
+  config.reservoir.total_vanadium_mol_per_m3 = 2001.0;
+  config.reservoir.chemistry = config.system.chemistry;
+  config.dt_s = 0.1;
+  return config;
+}
+
+TEST(Mission, RecordsOneSamplePerStep) {
+  const auto result = co::run_mission(fast_mission(0.5));
+  EXPECT_EQ(result.samples.size(), 5u);
+  EXPECT_EQ(result.samples.front().phase, "full-load");
+}
+
+TEST(Mission, SocDecreasesMonotonically) {
+  const auto result = co::run_mission(fast_mission(1.0));
+  double previous = 1.0;
+  for (const auto& s : result.samples) {
+    EXPECT_LT(s.state_of_charge, previous);
+    previous = s.state_of_charge;
+  }
+  EXPECT_DOUBLE_EQ(result.final_soc, result.samples.back().state_of_charge);
+}
+
+TEST(Mission, NominalPlatformSustainsSupply) {
+  const auto result = co::run_mission(fast_mission(1.0));
+  EXPECT_TRUE(result.supply_always_ok);
+  for (const auto& s : result.samples) {
+    EXPECT_TRUE(s.supply_ok);
+    EXPECT_GT(s.bus_current_a, 4.0);  // ~5.8 A at the cache-rail demand
+    EXPECT_LT(s.bus_current_a, 8.0);
+  }
+}
+
+TEST(Mission, EnergyBookkeepingConsistent) {
+  const auto config = fast_mission(1.0);
+  const auto result = co::run_mission(config);
+  // Charge drawn equals the SOC drop times capacity.
+  const double charge_drawn =
+      (config.initial_soc - result.final_soc) * config.reservoir.capacity_coulomb();
+  double charge_integrated = 0.0;
+  for (const auto& s : result.samples) {
+    charge_integrated += s.bus_current_a * config.dt_s;
+  }
+  EXPECT_NEAR(charge_drawn, charge_integrated, charge_integrated * 1e-9);
+  EXPECT_GT(result.energy_delivered_j, 0.0);
+  // Energy ~ V * I * t with V in [1.0, 1.3]: sanity bounds.
+  EXPECT_LT(result.energy_delivered_j, 1.4 * charge_integrated);
+  EXPECT_GT(result.energy_delivered_j, 0.8 * charge_integrated);
+}
+
+TEST(Mission, TinyTankDrainsVisiblyFaster) {
+  const auto big = co::run_mission(fast_mission(1.0, 1.0));
+  const auto small = co::run_mission(fast_mission(1.0, 0.001));  // 1 mL per side
+  EXPECT_LT(small.final_soc, big.final_soc);
+}
+
+TEST(Mission, OverloadedRailReportedNotThrown) {
+  auto config = fast_mission(0.5);
+  config.system.power_spec.cache_w_per_cm2 = 40.0;  // ~100 W rail
+  const auto result = co::run_mission(config);
+  EXPECT_FALSE(result.supply_always_ok);
+  for (const auto& s : result.samples) {
+    EXPECT_FALSE(s.supply_ok);
+  }
+  // Nothing was drawn from the tanks.
+  EXPECT_NEAR(result.final_soc, config.initial_soc, 1e-12);
+}
+
+TEST(Mission, WorkloadPhasesShowUpThermally) {
+  auto config = fast_mission();
+  config.workload = ch::burst_trace(1);
+  const auto result = co::run_mission(config);
+  double idle_peak = 0.0, burst_peak = 0.0;
+  for (const auto& s : result.samples) {
+    if (s.phase == "idle") {
+      idle_peak = std::max(idle_peak, s.peak_temperature_c);
+    }
+    if (s.phase == "burst") {
+      burst_peak = std::max(burst_peak, s.peak_temperature_c);
+    }
+  }
+  EXPECT_GT(burst_peak, idle_peak + 0.5);
+  EXPECT_EQ(result.max_peak_temperature_c,
+            std::max({idle_peak, burst_peak, result.max_peak_temperature_c}));
+}
+
+TEST(Mission, ValidatesConfiguration) {
+  auto config = fast_mission();
+  config.dt_s = 0.0;
+  EXPECT_THROW((void)co::run_mission(config), std::invalid_argument);
+  config = fast_mission();
+  config.initial_soc = 1.5;
+  EXPECT_THROW((void)co::run_mission(config), std::invalid_argument);
+}
+
+}  // namespace

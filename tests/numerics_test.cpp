@@ -1,0 +1,598 @@
+// Unit and property tests of the numerics substrate.
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "numerics/contracts.h"
+#include "numerics/dense_matrix.h"
+#include "numerics/grid.h"
+#include "numerics/interpolation.h"
+#include "numerics/linear_solvers.h"
+#include "numerics/root_finding.h"
+#include "numerics/sparse_matrix.h"
+#include "numerics/statistics.h"
+#include "numerics/tridiagonal.h"
+
+namespace nm = brightsi::numerics;
+
+namespace {
+
+/// Deterministic RNG for reproducible property tests.
+std::mt19937& rng() {
+  static std::mt19937 gen(12345);
+  return gen;
+}
+
+/// Random diagonally dominant SPD matrix of dimension n (as triplets).
+nm::CsrMatrix random_spd(int n, double density = 0.2) {
+  std::uniform_real_distribution<double> value(-1.0, 1.0);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  nm::TripletList t;
+  std::vector<double> row_sum(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (coin(rng()) < density) {
+        const double v = value(rng());
+        t.add(i, j, v);
+        t.add(j, i, v);
+        row_sum[static_cast<std::size_t>(i)] += std::abs(v);
+        row_sum[static_cast<std::size_t>(j)] += std::abs(v);
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    t.add(i, i, row_sum[static_cast<std::size_t>(i)] + 1.0);
+  }
+  return nm::CsrMatrix::from_triplets(n, n, t);
+}
+
+/// Random diagonally dominant nonsymmetric matrix.
+nm::CsrMatrix random_nonsym(int n, double density = 0.2) {
+  std::uniform_real_distribution<double> value(-1.0, 1.0);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  nm::TripletList t;
+  std::vector<double> row_sum(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j && coin(rng()) < density) {
+        const double v = value(rng());
+        t.add(i, j, v);
+        row_sum[static_cast<std::size_t>(i)] += std::abs(v);
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    t.add(i, i, row_sum[static_cast<std::size_t>(i)] + 1.0);
+  }
+  return nm::CsrMatrix::from_triplets(n, n, t);
+}
+
+std::vector<double> random_vector(int n) {
+  std::uniform_real_distribution<double> value(-2.0, 2.0);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (double& x : v) {
+    x = value(rng());
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------- contracts
+TEST(Contracts, EnsureThrowsWithMessage) {
+  EXPECT_THROW(brightsi::ensure(false, "boom"), std::invalid_argument);
+  EXPECT_NO_THROW(brightsi::ensure(true, "ok"));
+}
+
+TEST(Contracts, EnsurePositiveRejectsZeroNegativeNan) {
+  EXPECT_THROW(brightsi::ensure_positive(0.0, "x"), std::invalid_argument);
+  EXPECT_THROW(brightsi::ensure_positive(-1.0, "x"), std::invalid_argument);
+  EXPECT_THROW(brightsi::ensure_positive(std::nan(""), "x"), std::invalid_argument);
+  EXPECT_NO_THROW(brightsi::ensure_positive(1e-300, "x"));
+}
+
+TEST(Contracts, EnsureNonNegativeAcceptsZero) {
+  EXPECT_NO_THROW(brightsi::ensure_non_negative(0.0, "x"));
+  EXPECT_THROW(brightsi::ensure_non_negative(-1e-12, "x"), std::invalid_argument);
+}
+
+TEST(Contracts, EnsureFiniteRejectsInf) {
+  EXPECT_THROW(brightsi::ensure_finite(INFINITY, "x"), std::invalid_argument);
+  EXPECT_NO_THROW(brightsi::ensure_finite(-5.0, "x"));
+}
+
+// ------------------------------------------------------------- sparse matrix
+TEST(SparseMatrix, BuildsAndSumsDuplicates) {
+  nm::TripletList t;
+  t.add(0, 0, 1.0);
+  t.add(0, 0, 2.0);
+  t.add(1, 0, -1.0);
+  t.add(0, 1, 4.0);
+  const auto m = nm::CsrMatrix::from_triplets(2, 2, t);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+  EXPECT_EQ(m.non_zeros(), 3u);
+}
+
+TEST(SparseMatrix, RejectsOutOfRangeIndices) {
+  nm::TripletList t;
+  t.add(2, 0, 1.0);
+  EXPECT_THROW(nm::CsrMatrix::from_triplets(2, 2, t), std::invalid_argument);
+}
+
+TEST(SparseMatrix, RejectsNonFiniteValues) {
+  nm::TripletList t;
+  t.add(0, 0, std::nan(""));
+  EXPECT_THROW(nm::CsrMatrix::from_triplets(1, 1, t), std::invalid_argument);
+}
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+  const auto m = random_nonsym(30);
+  const auto x = random_vector(30);
+  std::vector<double> y(30);
+  m.multiply(x, y);
+  for (int i = 0; i < 30; ++i) {
+    double expected = 0.0;
+    for (int j = 0; j < 30; ++j) {
+      expected += m.at(i, j) * x[static_cast<std::size_t>(j)];
+    }
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], expected, 1e-12);
+  }
+}
+
+TEST(SparseMatrix, DiagonalExtraction) {
+  const auto m = random_spd(20);
+  const auto d = m.diagonal();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(i)], m.at(i, i));
+  }
+}
+
+TEST(SparseMatrix, SymmetryDetection) {
+  EXPECT_TRUE(random_spd(25).is_symmetric());
+  // A specifically asymmetric matrix.
+  nm::TripletList t;
+  t.add(0, 1, 1.0);
+  t.add(1, 0, 2.0);
+  t.add(0, 0, 3.0);
+  t.add(1, 1, 3.0);
+  EXPECT_FALSE(nm::CsrMatrix::from_triplets(2, 2, t).is_symmetric());
+}
+
+TEST(SparseMatrix, ResidualComputesBMinusAx) {
+  const auto m = random_spd(10);
+  const auto x = random_vector(10);
+  std::vector<double> b(10, 0.0);
+  m.multiply(x, b);
+  std::vector<double> r(10);
+  const double norm = m.residual(b, x, r);
+  EXPECT_NEAR(norm, 0.0, 1e-12);
+}
+
+// ------------------------------------------------------------------ solvers
+class CgSolverSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CgSolverSizes, SolvesRandomSpdSystems) {
+  const int n = GetParam();
+  const auto a = random_spd(n);
+  const auto x_true = random_vector(n);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  a.multiply(x_true, b);
+
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  const nm::JacobiPreconditioner precond(a);
+  const auto report = nm::solve_cg(a, b, x, &precond);
+  ASSERT_TRUE(report.converged);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)], x_true[static_cast<std::size_t>(i)], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CgSolverSizes, ::testing::Values(2, 5, 17, 64, 200));
+
+class BicgstabSolverSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(BicgstabSolverSizes, SolvesRandomNonsymmetricSystems) {
+  const int n = GetParam();
+  const auto a = random_nonsym(n);
+  const auto x_true = random_vector(n);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  a.multiply(x_true, b);
+
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  const nm::Ilu0Preconditioner precond(a);
+  const auto report = nm::solve_bicgstab(a, b, x, &precond);
+  ASSERT_TRUE(report.converged);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)], x_true[static_cast<std::size_t>(i)], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BicgstabSolverSizes, ::testing::Values(2, 5, 17, 64, 200));
+
+TEST(Solvers, CgSolves1dLaplacianAgainstAnalytic) {
+  // -u'' = 1 on (0,1), u(0)=u(1)=0 -> u(x) = x(1-x)/2.
+  const int n = 101;
+  const double h = 1.0 / (n + 1);
+  nm::TripletList t;
+  for (int i = 0; i < n; ++i) {
+    t.add(i, i, 2.0 / (h * h));
+    if (i > 0) {
+      t.add(i, i - 1, -1.0 / (h * h));
+    }
+    if (i < n - 1) {
+      t.add(i, i + 1, -1.0 / (h * h));
+    }
+  }
+  const auto a = nm::CsrMatrix::from_triplets(n, n, t);
+  std::vector<double> b(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  const auto report = nm::solve_cg(a, b, x);
+  ASSERT_TRUE(report.converged);
+  for (int i = 0; i < n; ++i) {
+    const double xi = (i + 1) * h;
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)], xi * (1.0 - xi) / 2.0, 1e-8);
+  }
+}
+
+TEST(Solvers, ZeroRhsGivesZeroSolution) {
+  const auto a = random_spd(20);
+  std::vector<double> b(20, 0.0);
+  std::vector<double> x(20, 1.0);  // nonzero initial guess
+  const auto report = nm::solve_cg(a, b, x);
+  ASSERT_TRUE(report.converged);
+  for (const double v : x) {
+    EXPECT_NEAR(v, 0.0, 1e-9);
+  }
+}
+
+TEST(Solvers, ReportsResidualOnConvergence) {
+  const auto a = random_spd(30);
+  const auto b = random_vector(30);
+  std::vector<double> x(30, 0.0);
+  const auto report = nm::solve_cg(a, b, x);
+  ASSERT_TRUE(report.converged);
+  std::vector<double> r(30);
+  EXPECT_NEAR(a.residual(b, x, r), report.residual_norm, 1e-9);
+}
+
+TEST(Solvers, Ilu0ExactForTriangularPattern) {
+  // For a lower-triangular matrix ILU(0) is exact: one application solves.
+  nm::TripletList t;
+  t.add(0, 0, 2.0);
+  t.add(1, 0, -1.0);
+  t.add(1, 1, 3.0);
+  t.add(2, 1, -1.0);
+  t.add(2, 2, 4.0);
+  const auto a = nm::CsrMatrix::from_triplets(3, 3, t);
+  const nm::Ilu0Preconditioner precond(a);
+  const std::vector<double> r = {2.0, 1.0, 3.0};
+  std::vector<double> z(3);
+  precond.apply(r, z);
+  std::vector<double> az(3);
+  a.multiply(z, az);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(az[static_cast<std::size_t>(i)], r[static_cast<std::size_t>(i)], 1e-12);
+  }
+}
+
+TEST(Solvers, Ilu0ThrowsOnStructurallyZeroDiagonal) {
+  nm::TripletList t;
+  t.add(0, 1, 1.0);
+  t.add(1, 0, 1.0);
+  const auto a = nm::CsrMatrix::from_triplets(2, 2, t);
+  EXPECT_THROW(nm::Ilu0Preconditioner{a}, std::runtime_error);
+}
+
+// --------------------------------------------------------------- tridiagonal
+TEST(Tridiagonal, SolvesKnownSystem) {
+  // [2 -1; -1 2 -1; -1 2] x = [1 0 1] -> x = [1 1 1].
+  std::vector<double> lower = {0.0, -1.0, -1.0};
+  std::vector<double> diag = {2.0, 2.0, 2.0};
+  std::vector<double> upper = {-1.0, -1.0, 0.0};
+  std::vector<double> rhs = {1.0, 0.0, 1.0};
+  nm::solve_tridiagonal(lower, diag, upper, rhs);
+  for (const double v : rhs) {
+    EXPECT_NEAR(v, 1.0, 1e-12);
+  }
+}
+
+TEST(Tridiagonal, MatchesDenseSolverOnRandomSystems) {
+  std::uniform_real_distribution<double> value(0.1, 1.0);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 5 + trial * 7;
+    std::vector<double> lower(static_cast<std::size_t>(n)), diag(static_cast<std::size_t>(n)),
+        upper(static_cast<std::size_t>(n)), rhs(static_cast<std::size_t>(n));
+    nm::DenseMatrix dense(n, n, 0.0);
+    for (int i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      lower[idx] = (i > 0) ? -value(rng()) : 0.0;
+      upper[idx] = (i < n - 1) ? -value(rng()) : 0.0;
+      diag[idx] = 2.5;  // diagonally dominant
+      rhs[idx] = value(rng());
+      dense.at(i, i) = diag[idx];
+      if (i > 0) {
+        dense.at(i, i - 1) = lower[idx];
+      }
+      if (i < n - 1) {
+        dense.at(i, i + 1) = upper[idx];
+      }
+    }
+    const auto expected = nm::solve_dense(dense, rhs);
+    nm::solve_tridiagonal(lower, diag, upper, rhs);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(rhs[static_cast<std::size_t>(i)], expected[static_cast<std::size_t>(i)],
+                  1e-10);
+    }
+  }
+}
+
+TEST(Tridiagonal, SingleElementSystem) {
+  std::vector<double> lower = {0.0}, diag = {4.0}, upper = {0.0}, rhs = {8.0};
+  nm::solve_tridiagonal(lower, diag, upper, rhs);
+  EXPECT_DOUBLE_EQ(rhs[0], 2.0);
+}
+
+TEST(Tridiagonal, ThrowsOnZeroPivot) {
+  std::vector<double> lower = {0.0, 0.0}, diag = {0.0, 1.0}, upper = {0.0, 0.0},
+                      rhs = {1.0, 1.0};
+  EXPECT_THROW(nm::solve_tridiagonal(lower, diag, upper, rhs), std::runtime_error);
+}
+
+TEST(Tridiagonal, WorkspaceReuseAcrossSizes) {
+  nm::TridiagonalSolver solver(4);
+  std::vector<double> lower = {0.0, -1.0}, diag = {2.0, 2.0}, upper = {-1.0, 0.0},
+                      rhs = {1.0, 1.0};
+  solver.solve(lower, diag, upper, rhs);
+  EXPECT_NEAR(rhs[0], 1.0, 1e-12);
+  // Larger than initial workspace: must resize transparently.
+  const int n = 50;
+  std::vector<double> l2(n, -1.0), d2(n, 3.0), u2(n, -1.0), r2(n, 1.0);
+  l2[0] = 0.0;
+  u2[static_cast<std::size_t>(n - 1)] = 0.0;
+  EXPECT_NO_THROW(solver.solve(l2, d2, u2, r2));
+}
+
+// -------------------------------------------------------------------- dense
+TEST(DenseMatrix, LuSolveRoundTrip) {
+  const int n = 12;
+  std::uniform_real_distribution<double> value(-1.0, 1.0);
+  nm::DenseMatrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      a.at(i, j) = value(rng()) + (i == j ? static_cast<double>(n) : 0.0);
+    }
+  }
+  const auto x_true = random_vector(n);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  a.multiply(x_true, b);
+  const auto x = nm::solve_dense(a, b);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)], x_true[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+TEST(DenseMatrix, DeterminantOfKnownMatrix) {
+  nm::DenseMatrix a(2, 2);
+  a.at(0, 0) = 3.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;
+  const nm::LuFactorization lu(a);
+  EXPECT_NEAR(lu.determinant(), 10.0, 1e-12);
+}
+
+TEST(DenseMatrix, SingularMatrixThrows) {
+  nm::DenseMatrix a(2, 2, 1.0);  // rank 1
+  EXPECT_THROW(nm::LuFactorization{a}, std::runtime_error);
+}
+
+TEST(DenseMatrix, IdentityMultiplication) {
+  const auto eye = nm::DenseMatrix::identity(5);
+  const auto v = random_vector(5);
+  std::vector<double> out(5);
+  eye.multiply(v, out);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(DenseMatrix, MatrixMatrixProduct) {
+  nm::DenseMatrix a(2, 3, 0.0);
+  nm::DenseMatrix b(3, 2, 0.0);
+  int k = 1;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      a.at(i, j) = k++;
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      b.at(i, j) = k++;
+    }
+  }
+  const auto c = a.multiply(b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12] -> c = [58 64; 139 154].
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154.0);
+}
+
+// ------------------------------------------------------------- root finding
+TEST(RootFinding, BrentFindsCosRoot) {
+  const auto r = nm::find_root_brent([](double x) { return std::cos(x); }, 1.0, 2.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, M_PI / 2.0, 1e-10);
+}
+
+TEST(RootFinding, BrentHandlesRootAtBracketEnd) {
+  const auto r = nm::find_root_brent([](double x) { return x; }, 0.0, 1.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.root, 0.0);
+}
+
+TEST(RootFinding, BrentThrowsWithoutSignChange) {
+  EXPECT_THROW(
+      nm::find_root_brent([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+      std::invalid_argument);
+}
+
+class BrentPolynomials : public ::testing::TestWithParam<double> {};
+
+TEST_P(BrentPolynomials, FindsCubeRoots) {
+  const double target = GetParam();
+  const auto r = nm::find_root_brent(
+      [target](double x) { return x * x * x - target; }, -10.0, 10.0, 1e-14);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, std::cbrt(target), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, BrentPolynomials,
+                         ::testing::Values(-8.0, -1.0, 0.001, 1.0, 27.0, 500.0));
+
+TEST(RootFinding, NewtonConvergesOnSmoothFunction) {
+  const auto r = nm::find_root_newton(
+      [](double x) {
+        return std::pair<double, double>(x * x - 2.0, 2.0 * x);
+      },
+      1.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, std::sqrt(2.0), 1e-10);
+}
+
+TEST(RootFinding, NewtonDampsOvershoot) {
+  // atan has a famous Newton divergence from large seeds; damping rescues.
+  const auto r = nm::find_root_newton(
+      [](double x) {
+        return std::pair<double, double>(std::atan(x), 1.0 / (1.0 + x * x));
+      },
+      3.0, 1e-12, 200);
+  EXPECT_NEAR(r.root, 0.0, 1e-6);
+}
+
+TEST(RootFinding, BracketRootExpandsInterval) {
+  const auto [a, b] = nm::bracket_root([](double x) { return x - 100.0; }, 0.0, 1.0);
+  EXPECT_LE(a, 100.0);
+  EXPECT_GE(b, 100.0);
+}
+
+// ------------------------------------------------------------ interpolation
+TEST(Interpolation, ExactAtNodesAndLinearBetween) {
+  const nm::PiecewiseLinearTable table({0.0, 1.0, 3.0}, {0.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(table(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(table(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(table(3.0), 4.0);
+  EXPECT_DOUBLE_EQ(table(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(table(2.0), 3.0);
+}
+
+TEST(Interpolation, ClampPolicyHoldsEndpoints) {
+  const nm::PiecewiseLinearTable table({0.0, 1.0}, {5.0, 7.0});
+  EXPECT_DOUBLE_EQ(table(-10.0), 5.0);
+  EXPECT_DOUBLE_EQ(table(10.0), 7.0);
+}
+
+TEST(Interpolation, ThrowPolicyRejectsOutOfRange) {
+  const nm::PiecewiseLinearTable table({0.0, 1.0}, {5.0, 7.0},
+                                       nm::ExtrapolationPolicy::kThrow);
+  EXPECT_THROW(table(1.5), std::out_of_range);
+}
+
+TEST(Interpolation, LinearPolicyExtrapolates) {
+  const nm::PiecewiseLinearTable table({0.0, 1.0}, {0.0, 2.0},
+                                       nm::ExtrapolationPolicy::kLinear);
+  EXPECT_DOUBLE_EQ(table(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(table(-1.0), -2.0);
+}
+
+TEST(Interpolation, RejectsNonMonotoneXs) {
+  EXPECT_THROW(nm::PiecewiseLinearTable({0.0, 0.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(nm::PiecewiseLinearTable({1.0, 0.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Interpolation, InverseOnMonotoneTable) {
+  const nm::PiecewiseLinearTable table({0.0, 1.0, 2.0}, {10.0, 20.0, 40.0});
+  EXPECT_DOUBLE_EQ(table.inverse(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(table.inverse(15.0), 0.5);
+  EXPECT_DOUBLE_EQ(table.inverse(30.0), 1.5);
+}
+
+TEST(Interpolation, InverseOnDecreasingTable) {
+  const nm::PiecewiseLinearTable table({0.0, 1.0}, {10.0, 0.0});
+  EXPECT_DOUBLE_EQ(table.inverse(5.0), 0.5);
+}
+
+TEST(Interpolation, TrapezoidIntegralOfLinearIsExact) {
+  const std::vector<double> xs = {0.0, 0.5, 1.0, 2.0};
+  const std::vector<double> ys = {0.0, 1.0, 2.0, 4.0};  // y = 2x
+  EXPECT_DOUBLE_EQ(nm::trapezoid_integral(xs, ys), 4.0);  // integral of 2x on [0,2]
+}
+
+// -------------------------------------------------------------------- grids
+TEST(Grid, Grid2IndexingRoundTrip) {
+  nm::Grid2<double> g(4, 3, 0.0);
+  g(2, 1) = 7.5;
+  EXPECT_DOUBLE_EQ(g.at(2, 1), 7.5);
+  EXPECT_EQ(g.size(), 12u);
+  EXPECT_THROW(g.at(4, 0), std::invalid_argument);
+  EXPECT_THROW(g.at(0, 3), std::invalid_argument);
+}
+
+TEST(Grid, Grid3IndexingRoundTrip) {
+  nm::Grid3<double> g(3, 4, 5, 1.0);
+  g(2, 3, 4) = -2.0;
+  EXPECT_DOUBLE_EQ(g.at(2, 3, 4), -2.0);
+  EXPECT_EQ(g.size(), 60u);
+  EXPECT_THROW(g.at(3, 0, 0), std::invalid_argument);
+}
+
+TEST(Grid, FillResetsAllValues) {
+  nm::Grid2<double> g(5, 5, 1.0);
+  g.fill(3.0);
+  for (const double v : g.data()) {
+    EXPECT_DOUBLE_EQ(v, 3.0);
+  }
+}
+
+TEST(Grid, RejectsNonPositiveDimensions) {
+  EXPECT_THROW((nm::Grid2<double>(0, 3)), std::invalid_argument);
+  EXPECT_THROW((nm::Grid3<double>(2, -1, 3)), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- statistics
+TEST(Statistics, SummaryOfKnownSamples) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  const auto s = nm::summarize(v);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+  EXPECT_EQ(s.count, 4u);
+}
+
+TEST(Statistics, PercentileInterpolates) {
+  const std::vector<double> v = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(nm::percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(nm::percentile(v, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(nm::percentile(v, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(nm::percentile(v, 25.0), 20.0);
+}
+
+TEST(Statistics, MaxErrors) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.1, 2.0, 2.7};
+  EXPECT_NEAR(nm::max_abs_difference(a, b), 0.3, 1e-12);
+  EXPECT_NEAR(nm::max_relative_error(a, b), 0.3 / 2.7, 1e-12);
+}
+
+TEST(Statistics, EmptyInputThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(nm::summarize(empty), std::invalid_argument);
+  EXPECT_THROW(nm::percentile(empty, 50.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,282 @@
+// Cross-module property suites: physical invariants checked over swept
+// parameter grids (TEST_P), complementing the per-module unit tests.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "chip/power7.h"
+#include "chip/power_map.h"
+#include "electrochem/butler_volmer.h"
+#include "electrochem/reservoir.h"
+#include "electrochem/vanadium.h"
+#include "flowcell/cell_array.h"
+#include "flowcell/colaminar_fvm.h"
+#include "flowcell/wall_closure.h"
+#include "hydraulics/duct.h"
+#include "pdn/power_grid.h"
+#include "thermal/model.h"
+
+namespace ec = brightsi::electrochem;
+namespace fc = brightsi::flowcell;
+namespace hy = brightsi::hydraulics;
+namespace th = brightsi::thermal;
+namespace pd = brightsi::pdn;
+namespace ch = brightsi::chip;
+
+namespace {
+
+// ----------------------------------------------- Butler-Volmer x temperature
+class BvTemperatureSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};  // (alpha, T)
+
+TEST_P(BvTemperatureSweep, InversionRoundTripsAcrossKinetics) {
+  const auto [alpha, temperature] = GetParam();
+  ec::ButlerVolmerState state;
+  state.exchange_current_density_a_per_m2 = 85.0;
+  state.anodic_transfer_coefficient = alpha;
+  state.temperature_k = temperature;
+  state.reduced_surface_ratio = 0.8;
+  state.oxidized_surface_ratio = 1.1;
+  for (const double i : {-2000.0, -20.0, 0.5, 50.0, 4000.0}) {
+    const double eta = ec::overpotential_for_current(state, i);
+    EXPECT_NEAR(ec::butler_volmer_current(state, eta), i, 1e-6 * std::abs(i))
+        << "alpha=" << alpha << " T=" << temperature << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, BvTemperatureSweep,
+                         ::testing::Combine(::testing::Values(0.3, 0.5, 0.65),
+                                            ::testing::Values(280.0, 300.0, 340.0)));
+
+// ------------------------------------------------------- wall closure sweep
+class ClosureVoltageSweep : public ::testing::TestWithParam<double> {};  // temperature
+
+TEST_P(ClosureVoltageSweep, CurrentMonotoneAndSelfConsistent) {
+  const double temperature = GetParam();
+  fc::ClosureParameters p;
+  p.temperature_k = temperature;
+  p.anode_exchange_current_a_per_m2 = 400.0;
+  p.cathode_exchange_current_a_per_m2 = 90.0;
+  p.anode_standard_potential_v = -0.255;
+  p.cathode_standard_potential_v = 0.991;
+  p.anode_wall_mass_transfer_m_per_s = 8e-5;
+  p.cathode_wall_mass_transfer_m_per_s = 8e-5;
+  p.area_specific_resistance_ohm_m2 = 8e-5;
+  const fc::WallConcentrations wall{900.0, 100.0, 950.0, 50.0};
+
+  double previous = -1e9;
+  for (double v = 1.4; v >= 0.2; v -= 0.1) {
+    const auto r = fc::solve_wall_current(p, wall, v);
+    EXPECT_GE(r.total_current_density, previous - 1e-9) << "V=" << v;
+    previous = r.total_current_density;
+    if (!r.clamped && r.total_current_density > 0.0) {
+      // Reconstruct the voltage from the reported decomposition:
+      // V = OCV(wall) + eta_cat - eta_an - i*ASR, with the Nernst surface
+      // shift inside the overpotentials via the surface ratios.
+      const double v_rebuilt = r.local_open_circuit_v + r.cathode_overpotential_v -
+                               r.anode_overpotential_v -
+                               r.total_current_density * p.area_specific_resistance_ohm_m2;
+      EXPECT_NEAR(v_rebuilt, v, 1e-5) << "decomposition at V=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Temperatures, ClosureVoltageSweep,
+                         ::testing::Values(290.0, 300.0, 320.0, 345.0));
+
+// ------------------------------------------------------------ duct geometry
+class DuctAspectSweep : public ::testing::TestWithParam<double> {};  // aspect ratio
+
+TEST_P(DuctAspectSweep, CorrelationsBehaveAcrossAspect) {
+  const double aspect = GetParam();
+  const hy::RectangularDuct duct(1e-3 * aspect, 1e-3, 0.1);
+  // f*Re between the square (14.23) and parallel-plate (24) limits.
+  EXPECT_GE(duct.friction_factor_reynolds(), 14.2);
+  EXPECT_LE(duct.friction_factor_reynolds(), 24.0);
+  // Nu between the square (3.608) and plate (8.235) limits.
+  EXPECT_GE(duct.nusselt_h1(), 3.6);
+  EXPECT_LE(duct.nusselt_h1(), 8.235);
+  // Depth-averaged profile integrates to one.
+  const hy::DuctVelocityProfile profile(duct);
+  const int n = 200;
+  double mean = 0.0;
+  for (int i = 0; i < n; ++i) {
+    mean += profile.depth_averaged((i + 0.5) * duct.width() / n);
+  }
+  EXPECT_NEAR(mean / n, 1.0, 5e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Aspects, DuctAspectSweep,
+                         ::testing::Values(0.05, 0.125, 0.25, 0.5, 0.75, 1.0));
+
+// ------------------------------------------------------- thermal linearity
+class ThermalLinearity : public ::testing::Test {
+ protected:
+  static th::ThermalModel make_model() {
+    th::ThermalModel::GridSettings grid;
+    grid.axial_cells = 8;
+    return th::ThermalModel(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                            ch::kPower7DieHeightM, grid);
+  }
+  static th::OperatingPoint op() {
+    th::OperatingPoint o;
+    o.total_flow_m3_per_s = 676e-6 / 60.0;
+    o.inlet_temperature_k = 300.15;
+    return o;
+  }
+};
+
+TEST_F(ThermalLinearity, SuperpositionOfPowerMaps) {
+  // The steady operator is linear: the rise of (cores+caches) equals the
+  // sum of the separate rises.
+  const auto model = make_model();
+  ch::Power7PowerSpec cores_only;
+  cores_only.cache_w_per_cm2 = 0.0;
+  cores_only.logic_w_per_cm2 = 0.0;
+  cores_only.io_w_per_cm2 = 0.0;
+  cores_only.background_w_per_cm2 = 0.0;
+  ch::Power7PowerSpec caches_only;
+  caches_only.core_w_per_cm2 = 0.0;
+  caches_only.logic_w_per_cm2 = 0.0;
+  caches_only.io_w_per_cm2 = 0.0;
+  caches_only.background_w_per_cm2 = 0.0;
+  ch::Power7PowerSpec both = cores_only;
+  both.cache_w_per_cm2 = ch::Power7PowerSpec{}.cache_w_per_cm2;
+
+  const auto sol_cores = model.solve_steady(ch::make_power7_floorplan(cores_only), op());
+  const auto sol_caches = model.solve_steady(ch::make_power7_floorplan(caches_only), op());
+  const auto sol_both = model.solve_steady(ch::make_power7_floorplan(both), op());
+
+  const double inlet = op().inlet_temperature_k;
+  // Compare at a fixed probe cell (center of core0, source plane).
+  const int ix = 10, iy = 5, iz = 0;
+  const double rise_sum = (sol_cores.temperature_k(ix, iy, iz) - inlet) +
+                          (sol_caches.temperature_k(ix, iy, iz) - inlet);
+  const double rise_both = sol_both.temperature_k(ix, iy, iz) - inlet;
+  EXPECT_NEAR(rise_both, rise_sum, 1e-6 + 1e-6 * std::abs(rise_sum));
+}
+
+TEST_F(ThermalLinearity, OutletRiseInverselyProportionalToFlow) {
+  const auto model = make_model();
+  const auto fp = ch::make_power7_floorplan();
+  auto o1 = op();
+  auto o2 = op();
+  o2.total_flow_m3_per_s *= 2.0;
+  const auto s1 = model.solve_steady(fp, o1);
+  const auto s2 = model.solve_steady(fp, o2);
+  const double rise1 = s1.fluid_heat_absorbed_w /
+                       (4.187e6 * o1.total_flow_m3_per_s);  // caloric identity
+  const double rise2 = s2.fluid_heat_absorbed_w / (4.187e6 * o2.total_flow_m3_per_s);
+  EXPECT_NEAR(rise1 / rise2, 2.0, 1e-6);  // same heat, twice the flow
+}
+
+// ---------------------------------------------------------- PDN superposition
+TEST(PdnProperty, DroopScalesLinearlyWithLoad) {
+  ch::Power7PowerSpec half_spec;
+  half_spec.cache_w_per_cm2 /= 2.0;
+  const auto fp_full = ch::make_power7_floorplan();
+  const auto fp_half = ch::make_power7_floorplan(half_spec);
+  const pd::PowerGrid grid_full(pd::PowerGridSpec{}, fp_full);
+  const pd::PowerGrid grid_half(pd::PowerGridSpec{}, fp_half);
+  const auto taps =
+      pd::make_vrm_grid(4, 4, fp_full.die_width(), fp_full.die_height(), 1.0, 25e-3);
+  const auto sol_full = grid_full.solve(taps);
+  const auto sol_half = grid_half.solve(taps);
+  const double drop_full = 1.0 - sol_full.min_voltage_v;
+  const double drop_half = 1.0 - sol_half.min_voltage_v;
+  EXPECT_NEAR(drop_full / drop_half, 2.0, 1e-6);
+}
+
+TEST(PdnProperty, SetPointShiftsRigidly) {
+  const auto fp = ch::make_power7_floorplan();
+  const pd::PowerGrid grid(pd::PowerGridSpec{}, fp);
+  const auto taps_1v = pd::make_vrm_grid(4, 4, fp.die_width(), fp.die_height(), 1.0, 25e-3);
+  const auto taps_09 = pd::make_vrm_grid(4, 4, fp.die_width(), fp.die_height(), 0.9, 25e-3);
+  const auto sol_1v = grid.solve(taps_1v);
+  const auto sol_09 = grid.solve(taps_09);
+  // Same constant-current loads: the whole field shifts by 0.1 V.
+  EXPECT_NEAR(sol_1v.min_voltage_v - sol_09.min_voltage_v, 0.1, 1e-9);
+  EXPECT_NEAR(sol_1v.max_voltage_v - sol_09.max_voltage_v, 0.1, 1e-9);
+}
+
+// --------------------------------------------------------- flow cell trends
+class ArrayFlowSweep : public ::testing::TestWithParam<double> {};  // voltage
+
+TEST_P(ArrayFlowSweep, MoreFlowNeverLosesCurrent) {
+  const double v = GetParam();
+  auto spec = fc::power7_array_spec();
+  const ec::FlowCellChemistry chem = ec::power7_array_chemistry();
+  double previous = -1.0;
+  for (const double ml : {100.0, 300.0, 676.0, 1500.0}) {
+    spec.total_flow_m3_per_s = ml * 1e-6 / 60.0;
+    const fc::FlowCellArray array(spec, chem);
+    const double current = array.current_at_voltage(v);
+    EXPECT_GE(current, previous - 0.02) << "flow " << ml << " at " << v << " V";
+    previous = current;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Voltages, ArrayFlowSweep, ::testing::Values(1.2, 1.0, 0.7, 0.4));
+
+class ArrayTemperatureSweep : public ::testing::TestWithParam<double> {};  // voltage
+
+TEST_P(ArrayTemperatureSweep, HotterProfilesMonotonicallyHelp) {
+  const double v = GetParam();
+  const fc::FlowCellArray array(fc::power7_array_spec(), ec::power7_array_chemistry());
+  double previous = -1.0;
+  for (const double t : {300.0, 310.0, 320.0, 335.0}) {
+    const double current = array.current_at_voltage(v, {t});
+    EXPECT_GT(current, previous) << "T=" << t << " V=" << v;
+    previous = current;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Voltages, ArrayTemperatureSweep, ::testing::Values(1.2, 1.0, 0.6));
+
+// ----------------------------------------------------------- reservoir math
+TEST(ReservoirProperty, EnergyIsAdditiveOverSocSpans) {
+  ec::ReservoirSpec spec;
+  spec.chemistry = ec::power7_array_chemistry();
+  const ec::ElectrolyteReservoir high(spec, 0.9);
+  const ec::ElectrolyteReservoir mid(spec, 0.5);
+  const double whole = high.ideal_energy_to_floor_j(0.1, 300.0, 256);
+  const double upper = high.ideal_energy_to_floor_j(0.5, 300.0, 256);
+  const double lower = mid.ideal_energy_to_floor_j(0.1, 300.0, 256);
+  EXPECT_NEAR(whole, upper + lower, whole * 1e-6);
+}
+
+TEST(ReservoirProperty, RuntimeScalesWithTankVolume) {
+  ec::ReservoirSpec small;
+  small.chemistry = ec::power7_array_chemistry();
+  small.tank_volume_m3 = 1e-3;
+  ec::ReservoirSpec big = small;
+  big.tank_volume_m3 = 4e-3;
+  const ec::ElectrolyteReservoir r_small(small, 0.9);
+  const ec::ElectrolyteReservoir r_big(big, 0.9);
+  EXPECT_NEAR(r_big.runtime_to_floor_s(5.0, 0.1) / r_small.runtime_to_floor_s(5.0, 0.1),
+              4.0, 1e-9);
+}
+
+// ------------------------------------------------------ power-map invariants
+class RasterFilterSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RasterFilterSweep, FilteredPlusComplementEqualsBlocks) {
+  const int resolution = GetParam();
+  const auto fp = ch::make_power7_floorplan();
+  const auto caches = ch::rasterize_power_w(
+      fp, resolution, resolution, [](const ch::Block& b) { return ch::is_cache(b.type); });
+  const auto rest = ch::rasterize_power_w(
+      fp, resolution, resolution, [](const ch::Block& b) { return !ch::is_cache(b.type); });
+  double total = 0.0;
+  for (std::size_t i = 0; i < caches.data().size(); ++i) {
+    total += caches.data()[i] + rest.data()[i];
+  }
+  const double block_power = fp.total_power() -
+                             fp.background_power_density() *
+                                 (fp.die_area() - fp.covered_area());
+  EXPECT_NEAR(total, block_power, block_power * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, RasterFilterSweep, ::testing::Values(7, 32, 101));
+
+}  // namespace

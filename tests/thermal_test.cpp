@@ -1,0 +1,289 @@
+// Tests of the compact thermal model: analytic limits, conservation
+// properties, monotonicity in flow/power, transient convergence to steady
+// state and the POWER7+ microchannel stack.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "chip/power7.h"
+#include "thermal/model.h"
+#include "thermal/stack.h"
+
+namespace th = brightsi::thermal;
+namespace ch = brightsi::chip;
+
+namespace {
+
+constexpr double kFlow = 676e-6 / 60.0;
+constexpr double kInlet = 300.15;
+
+th::ThermalModel::GridSettings coarse_grid() {
+  th::ThermalModel::GridSettings g;
+  g.axial_cells = 8;
+  g.solid_stack_x_cells = 24;
+  return g;
+}
+
+/// Uniform-power floorplan helper.
+ch::Floorplan uniform_floorplan(double total_power_w) {
+  ch::Floorplan fp(ch::kPower7DieWidthM, ch::kPower7DieHeightM);
+  fp.add_block({"blanket", ch::BlockType::kLogic,
+                {0.0, 0.0, ch::kPower7DieWidthM, ch::kPower7DieHeightM},
+                total_power_w / (ch::kPower7DieWidthM * ch::kPower7DieHeightM)});
+  return fp;
+}
+
+th::OperatingPoint nominal_op() {
+  th::OperatingPoint op;
+  op.total_flow_m3_per_s = kFlow;
+  op.inlet_temperature_k = kInlet;
+  return op;
+}
+
+// ------------------------------------------------------------------- stacks
+TEST(Stack, Power7StackValidates) {
+  EXPECT_NO_THROW(th::power7_microchannel_stack().validate());
+  EXPECT_NO_THROW(th::power7_conventional_stack().validate());
+}
+
+TEST(Stack, Power7StackShape) {
+  const auto stack = th::power7_microchannel_stack();
+  ASSERT_TRUE(stack.has_channels());
+  EXPECT_EQ(stack.channel_layer->channel_count, 88);
+  EXPECT_DOUBLE_EQ(stack.channel_layer->channel_width_m, 200e-6);
+  EXPECT_DOUBLE_EQ(stack.channel_layer->layer_height_m, 400e-6);
+  EXPECT_TRUE(stack.layers_below.front().has_heat_source);
+}
+
+TEST(Stack, RejectsSourcelessStack) {
+  auto stack = th::power7_microchannel_stack();
+  stack.layers_below.front().has_heat_source = false;
+  EXPECT_THROW(stack.validate(), std::invalid_argument);
+}
+
+TEST(Stack, ConventionalStackHasTopFilm) {
+  const auto stack = th::power7_conventional_stack(2500.0, 318.15);
+  EXPECT_FALSE(stack.has_channels());
+  EXPECT_DOUBLE_EQ(stack.top_heat_transfer_w_per_m2_k, 2500.0);
+}
+
+// --------------------------------------------------------------- grid build
+TEST(ThermalModel, GridFollowsChannelPattern) {
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, coarse_grid());
+  EXPECT_EQ(model.channel_count(), 88);
+  // edge wall + 88 channels + 87 interior walls + edge wall
+  EXPECT_EQ(model.nx(), 177);
+  EXPECT_EQ(model.ny(), 8);
+  EXPECT_NEAR(model.x_edges().back(), ch::kPower7DieWidthM, 1e-12);
+}
+
+TEST(ThermalModel, RejectsChannelPatternWiderThanDie) {
+  auto stack = th::power7_microchannel_stack();
+  stack.channel_layer->channel_count = 200;
+  EXPECT_THROW(th::ThermalModel(stack, ch::kPower7DieWidthM, ch::kPower7DieHeightM),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------- analytic limits
+TEST(ThermalModel, ZeroPowerStaysAtInlet) {
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, coarse_grid());
+  const auto fp = uniform_floorplan(0.0);
+  const auto sol = model.solve_steady(fp, nominal_op());
+  EXPECT_NEAR(sol.peak_temperature_k, kInlet, 1e-6);
+}
+
+TEST(ThermalModel, CaloricBalanceMatchesAnalyticOutletRise) {
+  // Property: with adiabatic walls, T_out_mean = T_in + Q / (rho cp Vdot).
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, coarse_grid());
+  for (const double power : {20.0, 66.0, 120.0}) {
+    const auto fp = uniform_floorplan(power);
+    const auto sol = model.solve_steady(fp, nominal_op());
+    const double expected_rise = power / (4.187e6 * kFlow);
+    double outlet_mean = 0.0;
+    for (const double t : sol.channel_outlet_k) {
+      outlet_mean += t;
+    }
+    outlet_mean /= static_cast<double>(sol.channel_outlet_k.size());
+    // The z-averaged outlet sample slightly differs from the flow-weighted
+    // mixed mean; the energy balance itself is exact.
+    EXPECT_NEAR(outlet_mean - kInlet, expected_rise, 0.25 * expected_rise + 0.02);
+    EXPECT_LT(sol.energy_balance_error, 1e-6) << "power " << power;
+  }
+}
+
+TEST(ThermalModel, EnergyBalanceOnRealFloorplan) {
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, coarse_grid());
+  const auto fp = ch::make_power7_floorplan();
+  const auto sol = model.solve_steady(fp, nominal_op());
+  EXPECT_LT(sol.energy_balance_error, 1e-6);
+  EXPECT_NEAR(sol.fluid_heat_absorbed_w, fp.total_power(), fp.total_power() * 1e-5);
+}
+
+TEST(ThermalModel, MoreFlowRunsCooler) {
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, coarse_grid());
+  const auto fp = ch::make_power7_floorplan();
+  auto op = nominal_op();
+  const auto nominal = model.solve_steady(fp, op);
+  op.total_flow_m3_per_s = kFlow / 4.0;
+  const auto starved = model.solve_steady(fp, op);
+  EXPECT_GT(starved.peak_temperature_k, nominal.peak_temperature_k + 1.0);
+}
+
+TEST(ThermalModel, MorePowerRunsHotterProportionally) {
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, coarse_grid());
+  const auto sol1 = model.solve_steady(uniform_floorplan(30.0), nominal_op());
+  const auto sol2 = model.solve_steady(uniform_floorplan(60.0), nominal_op());
+  const double rise1 = sol1.peak_temperature_k - kInlet;
+  const double rise2 = sol2.peak_temperature_k - kInlet;
+  EXPECT_NEAR(rise2 / rise1, 2.0, 0.02);  // linear system
+}
+
+TEST(ThermalModel, HotterInletShiftsFieldUniformly) {
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, coarse_grid());
+  const auto fp = ch::make_power7_floorplan();
+  auto op = nominal_op();
+  const auto base = model.solve_steady(fp, op);
+  op.inlet_temperature_k = kInlet + 10.0;
+  const auto hot = model.solve_steady(fp, op);
+  EXPECT_NEAR(hot.peak_temperature_k - base.peak_temperature_k, 10.0, 1e-3);
+}
+
+TEST(ThermalModel, PeakSitsOverACoreNearOutlet) {
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, coarse_grid());
+  const auto fp = ch::make_power7_floorplan();
+  const auto sol = model.solve_steady(fp, nominal_op());
+  EXPECT_EQ(sol.peak_iz, 0);                     // source plane
+  EXPECT_GE(sol.peak_iy, model.ny() / 2);        // downstream half
+  // Peak x within a core column span (cores occupy 1.5-7.0 / 16.55-22.05 mm).
+  const double x = model.x_edges()[static_cast<std::size_t>(sol.peak_ix)];
+  const bool in_left = x > 1.2e-3 && x < 7.2e-3;
+  const bool in_right = x > 16.3e-3 && x < 22.3e-3;
+  EXPECT_TRUE(in_left || in_right) << "peak at x = " << x;
+}
+
+TEST(ThermalModel, Fig9OperatingPointLandsNearPaperPeak)
+{
+  // Paper Fig. 9: 41 C peak at full load, 676 ml/min, 27 C inlet. Our
+  // reconstruction lands in the upper-30s; assert the reproduced band.
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM);
+  const auto fp = ch::make_power7_floorplan();
+  const auto sol = model.solve_steady(fp, nominal_op());
+  const double peak_c = sol.peak_temperature_k - 273.15;
+  EXPECT_GT(peak_c, 33.0);
+  EXPECT_LT(peak_c, 43.0);
+}
+
+TEST(ThermalModel, BlockTemperaturesOrdered) {
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, coarse_grid());
+  const auto fp = ch::make_power7_floorplan();
+  const auto sol = model.solve_steady(fp, nominal_op());
+  double core_mean = 0.0, cache_mean = 0.0;
+  int cores = 0, caches = 0;
+  for (const auto& bt : sol.block_temperatures) {
+    if (bt.name.rfind("core", 0) == 0) {
+      core_mean += bt.mean_k;
+      ++cores;
+    } else if (bt.name.rfind("l2", 0) == 0 || bt.name.rfind("l3", 0) == 0) {
+      cache_mean += bt.mean_k;
+      ++caches;
+    }
+    EXPECT_GE(bt.max_k, bt.mean_k - 1e-9);
+  }
+  EXPECT_GT(core_mean / cores, cache_mean / caches + 2.0);  // cores run hotter
+}
+
+TEST(ThermalModel, ChannelProfilesMonotoneDownstream) {
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, coarse_grid());
+  const auto fp = ch::make_power7_floorplan();
+  const auto sol = model.solve_steady(fp, nominal_op());
+  ASSERT_EQ(sol.channel_fluid_axial_k.size(), 88u);
+  // Fluid warms along the channel under every core column.
+  const auto& profile = sol.channel_fluid_axial_k[10];
+  EXPECT_GT(profile.back(), profile.front());
+  EXPECT_GE(profile.front(), kInlet - 1e-9);
+}
+
+// ------------------------------------------------------------- conventional
+TEST(ThermalModel, ConventionalStackMuchHotterAtFullLoad) {
+  const th::ThermalModel liquid(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                                ch::kPower7DieHeightM, coarse_grid());
+  const th::ThermalModel air(th::power7_conventional_stack(), ch::kPower7DieWidthM,
+                             ch::kPower7DieHeightM, coarse_grid());
+  const auto fp = ch::make_power7_floorplan();
+  const auto cold = liquid.solve_steady(fp, nominal_op());
+  th::OperatingPoint air_op;  // no coolant; top film handles it
+  const auto hot = air.solve_steady(fp, air_op);
+  EXPECT_GT(hot.peak_temperature_k, cold.peak_temperature_k + 20.0);
+  EXPECT_LT(hot.energy_balance_error, 1e-6);
+}
+
+TEST(ThermalModel, SolidStackNeedsTopFilm) {
+  auto stack = th::power7_conventional_stack();
+  stack.top_heat_transfer_w_per_m2_k = 0.0;
+  const th::ThermalModel model(stack, ch::kPower7DieWidthM, ch::kPower7DieHeightM,
+                               coarse_grid());
+  const auto fp = uniform_floorplan(50.0);
+  th::OperatingPoint op;
+  EXPECT_THROW(model.solve_steady(fp, op), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- transient
+TEST(ThermalModel, TransientConvergesToSteadyState) {
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, coarse_grid());
+  const auto fp = ch::make_power7_floorplan();
+  const auto op = nominal_op();
+  const auto steady = model.solve_steady(fp, op);
+
+  auto state = model.uniform_state(kInlet);
+  double peak = 0.0;
+  for (int step = 0; step < 40; ++step) {
+    const auto sol = model.step_transient(state, fp, op, 0.05);
+    state = sol.temperature_k;
+    peak = sol.peak_temperature_k;
+  }
+  EXPECT_NEAR(peak, steady.peak_temperature_k, 0.15);
+}
+
+TEST(ThermalModel, TransientStepMovesTowardSteady) {
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, coarse_grid());
+  const auto fp = ch::make_power7_floorplan();
+  const auto op = nominal_op();
+  auto state = model.uniform_state(kInlet);
+  const auto after = model.step_transient(state, fp, op, 0.01);
+  EXPECT_GT(after.peak_temperature_k, kInlet);
+  const auto steady = model.solve_steady(fp, op);
+  EXPECT_LT(after.peak_temperature_k, steady.peak_temperature_k + 1e-6);
+}
+
+TEST(ThermalModel, TransientRejectsBadInputs) {
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, coarse_grid());
+  const auto fp = ch::make_power7_floorplan();
+  auto state = model.uniform_state(kInlet);
+  EXPECT_THROW(model.step_transient(state, fp, nominal_op(), 0.0), std::invalid_argument);
+  const auto wrong = brightsi::numerics::Grid3<double>(2, 2, 2, kInlet);
+  EXPECT_THROW(model.step_transient(wrong, fp, nominal_op(), 0.1), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- validation
+TEST(ThermalModel, OperatingPointValidation) {
+  th::OperatingPoint op;
+  op.total_flow_m3_per_s = 0.0;
+  EXPECT_THROW(op.validate(true), std::invalid_argument);
+  EXPECT_NO_THROW(op.validate(false));
+}
+
+}  // namespace
