@@ -1,0 +1,84 @@
+// Sweep-engine throughput baseline: scenarios/second of the SweepRunner at
+// 1, 4 and hardware_concurrency threads, on the fast isothermal array
+// evaluator (so the numbers measure the engine, not one heavyweight
+// scenario). Future PRs that touch the runner or the evaluators compare
+// against this.
+#include <cstdio>
+#include <iostream>
+#include <thread>
+
+#include <benchmark/benchmark.h>
+
+#include "core/report.h"
+#include "sweep/registry.h"
+#include "sweep/runner.h"
+
+namespace sw = brightsi::sweep;
+using brightsi::core::TextTable;
+
+namespace {
+
+sw::SweepPlan throughput_plan() {
+  // The 14-point geometry ablation, tiled 4x for a stable measurement.
+  sw::SweepPlan plan = sw::make_registered_plan("ablation_geometry");
+  const std::vector<sw::ScenarioSpec> base_points = plan.scenarios;
+  for (int copy = 1; copy < 4; ++copy) {
+    for (sw::ScenarioSpec scenario : base_points) {
+      scenario.name += " #" + std::to_string(copy);
+      plan.add(std::move(scenario));
+    }
+  }
+  return plan;
+}
+
+void print_reproduction() {
+  const sw::SweepPlan plan = throughput_plan();
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+
+  std::printf("== sweep throughput: %zu array scenarios per run ==\n",
+              plan.scenarios.size());
+  TextTable table({"threads", "wall (s)", "scenarios/s", "speedup vs 1"});
+  std::vector<int> thread_counts = {1, 4};
+  if (hardware != 1 && hardware != 4) {
+    thread_counts.push_back(static_cast<int>(hardware));
+  }
+  double serial_rate = 0.0;
+  for (const int threads : thread_counts) {
+    const sw::SweepRunner runner({threads});
+    // Warm-up run, then the measured run.
+    (void)runner.run(plan);
+    const sw::SweepResult result = runner.run(plan);
+    const double rate = result.scenarios_per_second();
+    if (threads == 1) {
+      serial_rate = rate;
+    }
+    table.add_row({std::to_string(threads), TextTable::num(result.wall_time_s, 3),
+                   TextTable::num(rate, 1),
+                   TextTable::num(serial_rate > 0.0 ? rate / serial_rate : 0.0, 2)});
+  }
+  table.print(std::cout);
+  std::printf("\n(hardware_concurrency = %u; per-scenario results are identical at\n"
+              "every thread count — see sweep_test determinism checks)\n\n",
+              hardware);
+}
+
+void bm_sweep(benchmark::State& state) {
+  const sw::SweepPlan plan = throughput_plan();
+  const sw::SweepRunner runner({static_cast<int>(state.range(0))});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(plan));
+  }
+  state.counters["scenarios/s"] = benchmark::Counter(
+      static_cast<double>(plan.scenarios.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(bm_sweep)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
@@ -96,6 +97,85 @@ void write_series_csv(std::ostream& os, const std::vector<std::string>& headers,
       os << columns[c][r] << (c + 1 < columns.size() ? "," : "\n");
     }
   }
+}
+
+namespace {
+
+/// RFC 4180: quote a cell when it contains a separator, quote or newline.
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) {
+    return cell;
+  }
+  std::string quoted = "\"";
+  for (const char c : cell) {
+    if (c == '"') {
+      quoted += '"';
+    }
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+void write_table_csv(std::ostream& os, const std::vector<std::string>& headers,
+                     const std::vector<std::vector<std::string>>& rows) {
+  ensure(!headers.empty(), "write_table_csv: empty header");
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    os << csv_escape(headers[i]) << (i + 1 < headers.size() ? "," : "\n");
+  }
+  for (const auto& row : rows) {
+    ensure(row.size() == headers.size(), "write_table_csv: ragged row");
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << csv_escape(row[c]) << (c + 1 < row.size() ? "," : "\n");
+    }
+  }
+}
+
+std::string json_escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\r': escaped += "\\r"; break;
+      case '\t': escaped += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          escaped += buffer;
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  return escaped;
+}
+
+void write_records_json(std::ostream& os, const std::vector<std::string>& headers,
+                        const std::vector<bool>& numeric,
+                        const std::vector<std::vector<std::string>>& rows) {
+  ensure(numeric.size() == headers.size(), "write_records_json: numeric mask mismatch");
+  os << "[";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    ensure(row.size() == headers.size(), "write_records_json: ragged row");
+    os << (r == 0 ? "\n" : ",\n") << "  {";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : ", ") << '"' << json_escape(headers[c]) << "\": ";
+      if (numeric[c]) {
+        os << (row[c].empty() ? "null" : row[c]);
+      } else {
+        os << '"' << json_escape(row[c]) << '"';
+      }
+    }
+    os << "}";
+  }
+  os << (rows.empty() ? "]\n" : "\n]\n");
 }
 
 TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}

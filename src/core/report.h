@@ -33,6 +33,23 @@ void write_field_csv(std::ostream& os, const numerics::Grid2<double>& field, dou
 void write_series_csv(std::ostream& os, const std::vector<std::string>& headers,
                       const std::vector<std::vector<double>>& columns);
 
+/// Writes a CSV of pre-formatted string cells (header row then data rows).
+/// Cells containing commas, quotes or newlines are quoted per RFC 4180.
+void write_table_csv(std::ostream& os, const std::vector<std::string>& headers,
+                     const std::vector<std::vector<std::string>>& rows);
+
+/// Escapes `text` for embedding inside a JSON string literal (no quotes
+/// added).
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+/// Writes a JSON array of records: one object per row keyed by `headers`.
+/// Cells flagged in `numeric` are emitted raw (caller guarantees they are
+/// valid JSON numbers, or empty — emitted as null); others are quoted and
+/// escaped.
+void write_records_json(std::ostream& os, const std::vector<std::string>& headers,
+                        const std::vector<bool>& numeric,
+                        const std::vector<std::vector<std::string>>& rows);
+
 /// Writes a results artifact to `results/<name>` (creating the directory
 /// next to the working directory), using `writer` to produce the content.
 /// Returns the path written, or an empty string if the filesystem refused

@@ -64,8 +64,8 @@ struct StationModel {
            i_total * p.area_specific_resistance_ohm_m2;
   }
 
-  [[nodiscard]] double overpotentials(double i_total, double* eta_an, double* eta_cat,
-                                      double* local_ocv) const {
+  void overpotentials(double i_total, double* eta_an, double* eta_cat,
+                      double* local_ocv) const {
     // Re-evaluates the pieces for reporting (same algebra as above).
     const double an_red_b = std::max(w.anode_reduced, kFloor);
     const double an_ox_b = std::max(w.anode_oxidized, kFloor);
@@ -94,7 +94,6 @@ struct StationModel {
     cat_state.oxidized_surface_ratio = std::max(w.cathode_oxidized - d_cat, kFloor) / cat_ox_b;
     cat_state.reduced_surface_ratio = std::max(w.cathode_reduced + d_cat, kFloor) / cat_red_b;
     *eta_cat = ec::overpotential_for_current(cat_state, -i_total);
-    return 0.0;
   }
 };
 
@@ -108,7 +107,6 @@ ClosureResult solve_wall_current(const ClosureParameters& params, const WallConc
   ensure_non_negative(params.area_specific_resistance_ohm_m2, "area specific resistance");
 
   const double n_f = ec::constants::faraday_c_per_mol;  // single-electron couples
-  StationModel model{params, wall, n_f};
 
   ClosureResult result;
 

@@ -1,0 +1,118 @@
+#include "sweep/evaluators.h"
+
+#include <stdexcept>
+
+#include "core/cosim.h"
+#include "flowcell/cell_array.h"
+#include "hydraulics/pump.h"
+#include "pdn/power_grid.h"
+#include "sweep/scenario.h"
+
+namespace brightsi::sweep {
+
+SweepEvaluator cosim_evaluator() {
+  SweepEvaluator evaluator;
+  evaluator.name = "cosim";
+  evaluator.metrics = {
+      "iterations",     "converged",        "peak_t_c",      "coolant_out_c",
+      "bus_v",          "array_current_a",  "array_power_w", "vrm_loss_w",
+      "dp_bar",         "pump_w",           "net_w",         "iso_current_a",
+      "coupled_current_a", "thermal_gain_pct", "rail_min_v", "rail_worst_drop_v",
+  };
+  evaluator.fn = [](const core::SystemConfig& config, const ScenarioSpec&) {
+    const core::IntegratedMpsocSystem system(config);
+    const core::CoSimReport report = system.run();
+    return std::vector<double>{
+        static_cast<double>(report.iterations),
+        report.converged ? 1.0 : 0.0,
+        report.peak_temperature_c,
+        report.mean_coolant_outlet_c,
+        report.supply.bus_voltage_v,
+        report.supply.array_current_a,
+        report.supply.array_power_w,
+        report.supply.vrm_loss_w,
+        report.pressure_drop_bar,
+        report.pumping_power_w,
+        report.net_power_w,
+        report.isothermal_current_a,
+        report.coupled_current_a,
+        report.thermal_current_gain * 100.0,
+        report.grid.min_voltage_v,
+        report.grid.worst_drop_v,
+    };
+  };
+  return evaluator;
+}
+
+SweepEvaluator array_power_evaluator() {
+  SweepEvaluator evaluator;
+  evaluator.name = "array";
+  evaluator.metrics = {"current_1v_a", "power_density_w_cm2", "dp_bar", "pump_w", "net_w"};
+  evaluator.fn = [](const core::SystemConfig& config, const ScenarioSpec&) {
+    const flowcell::FlowCellArray array(config.array_spec, config.chemistry, config.fvm);
+    const flowcell::ArraySpec& spec = config.array_spec;
+    const double area_cm2 =
+        spec.geometry.projected_electrode_area_m2() * spec.channel_count * 1e4;
+    const double current = array.current_at_voltage(1.0, {spec.inlet_temperature_k});
+    const auto hydraulics = array.hydraulics_at_spec_flow();
+    const double pump = hydraulics::pumping_power_w(
+        hydraulics.pressure_drop_pa, spec.total_flow_m3_per_s, config.pump_efficiency);
+    return std::vector<double>{
+        current,
+        current / area_cm2,
+        hydraulics.pressure_drop_pa / 1e5,
+        pump,
+        current - pump,
+    };
+  };
+  return evaluator;
+}
+
+SweepEvaluator rail_integrity_evaluator() {
+  SweepEvaluator evaluator;
+  evaluator.name = "rail";
+  evaluator.metrics = {"tap_count",    "rail_min_v",   "rail_max_v",      "rail_mean_v",
+                       "worst_drop_v", "ohmic_loss_w", "supply_current_a"};
+  evaluator.fn = [](const core::SystemConfig& config, const ScenarioSpec& scenario) {
+    const chip::Floorplan floorplan = chip::make_power7_floorplan(config.power_spec);
+    const pdn::PowerGrid grid(config.grid_spec, floorplan);
+    std::vector<pdn::VrmTap> taps;
+    if (const auto per_edge = scenario.get("edge_taps_per_side")) {
+      taps = pdn::make_edge_taps(static_cast<int>(*per_edge), floorplan.die_width(),
+                                 floorplan.die_height(), config.vrm_spec.set_point_v,
+                                 config.vrm_spec.output_resistance_ohm);
+    } else {
+      taps = pdn::make_vrm_grid(config.vrm_spec.count_x, config.vrm_spec.count_y,
+                                floorplan.die_width(), floorplan.die_height(),
+                                config.vrm_spec.set_point_v,
+                                config.vrm_spec.output_resistance_ohm);
+    }
+    const pdn::PowerGridSolution solution = grid.solve(taps);
+    return std::vector<double>{
+        static_cast<double>(taps.size()),
+        solution.min_voltage_v,
+        solution.max_voltage_v,
+        solution.mean_voltage_v,
+        solution.worst_drop_v,
+        solution.ohmic_loss_w,
+        solution.total_supply_current_a,
+    };
+  };
+  return evaluator;
+}
+
+SweepEvaluator make_evaluator(const std::string& name) {
+  if (name == "cosim") {
+    return cosim_evaluator();
+  }
+  if (name == "array") {
+    return array_power_evaluator();
+  }
+  if (name == "rail") {
+    return rail_integrity_evaluator();
+  }
+  throw std::invalid_argument("unknown evaluator: " + name +
+                              " (expected cosim, array or rail)");
+}
+
+}  // namespace brightsi::sweep

@@ -1,0 +1,49 @@
+// Evaluators turn one resolved scenario into a row of named metrics. The
+// three built-ins cover the repo's ablation workloads: the full
+// electro-thermal co-simulation, the isothermal array design point (bench
+// ablation_geometry) and the cache-rail integrity solve (bench
+// ablation_vrm_placement).
+#ifndef BRIGHTSI_SWEEP_EVALUATORS_H
+#define BRIGHTSI_SWEEP_EVALUATORS_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/system_config.h"
+
+namespace brightsi::sweep {
+
+struct ScenarioSpec;
+
+/// A metric extractor: `fn` returns one value per entry of `metrics`, in
+/// order. It receives both the resolved SystemConfig and the raw scenario
+/// (for evaluator-consumed parameters like edge_taps_per_side).
+struct SweepEvaluator {
+  std::string name;
+  std::vector<std::string> metrics;
+  std::function<std::vector<double>(const core::SystemConfig&, const ScenarioSpec&)> fn;
+};
+
+/// Full fixed-point co-simulation (IntegratedMpsocSystem::run). Metrics:
+/// convergence, peak/coolant temperatures, supply operating point,
+/// hydraulics, net power and the thermal current gain.
+[[nodiscard]] SweepEvaluator cosim_evaluator();
+
+/// Isothermal array design point at 1 V: current, deliverable power density
+/// per electrode area, pressure drop, pumping power and net power — the
+/// ablation_geometry bench columns.
+[[nodiscard]] SweepEvaluator array_power_evaluator();
+
+/// Cache-rail integrity for a VRM population: solves the PDN with either a
+/// distributed tap grid (vrm_count_x x vrm_count_y) or, when the scenario
+/// sets edge_taps_per_side, the conventional edge-fed baseline.
+[[nodiscard]] SweepEvaluator rail_integrity_evaluator();
+
+/// Built-in evaluator by name ("cosim", "array", "rail"); throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] SweepEvaluator make_evaluator(const std::string& name);
+
+}  // namespace brightsi::sweep
+
+#endif  // BRIGHTSI_SWEEP_EVALUATORS_H

@@ -1,0 +1,141 @@
+#include "sweep/registry.h"
+
+#include <stdexcept>
+
+namespace brightsi::sweep {
+
+namespace {
+
+/// bench/ablation_geometry as data: the Section IV outlook sweep of channel
+/// dimensions, flow rate and inlet temperature, evaluated at the isothermal
+/// 1 V design point.
+SweepPlan geometry_plan() {
+  SweepPlan plan;
+  plan.name = "ablation_geometry";
+  plan.base = core::power7_system_config();
+  plan.evaluator = array_power_evaluator();
+  // The bench's explicit design points: every scenario pins all four knobs
+  // so rows are self-describing.
+  auto point = [&](double gap_um, double height_um, double flow_ml_min, double inlet_c) {
+    ScenarioSpec scenario;
+    scenario.name = "gap=" + format_value(gap_um) + " h=" + format_value(height_um) +
+                    " q=" + format_value(flow_ml_min) + " t=" + format_value(inlet_c);
+    scenario.set("channel_gap_um", gap_um);
+    scenario.set("channel_height_um", height_um);
+    scenario.set("flow_ml_min", flow_ml_min);
+    scenario.set("inlet_c", inlet_c);
+    plan.add(std::move(scenario));
+  };
+  for (const double gap : {100.0, 200.0, 400.0}) {
+    point(gap, 400.0, 676.0, 27.0);
+  }
+  for (const double height : {200.0, 400.0, 800.0}) {
+    point(200.0, height, 676.0, 27.0);
+  }
+  for (const double flow : {48.0, 200.0, 676.0, 2000.0}) {
+    point(200.0, 400.0, flow, 27.0);
+  }
+  for (const double t : {27.0, 37.0, 47.0, 60.0}) {
+    point(200.0, 400.0, 676.0, t);
+  }
+  return plan;
+}
+
+/// bench/temp_sensitivity as data: the Section III-B coupled cases (nominal
+/// flow, starved flow, warm inlet) through the full co-simulation.
+SweepPlan temperature_plan() {
+  SweepPlan plan;
+  plan.name = "temp_sensitivity";
+  plan.base = core::power7_system_config();
+  plan.base.thermal_grid.axial_cells = 16;  // the bench's resolution
+  plan.evaluator = cosim_evaluator();
+  auto coupled = [&](const std::string& name, double flow_ml_min, double inlet_c) {
+    ScenarioSpec scenario;
+    scenario.name = name;
+    scenario.set("flow_ml_min", flow_ml_min);
+    scenario.set("inlet_c", inlet_c);
+    plan.add(std::move(scenario));
+  };
+  coupled("coupled 676 ml/min, 27 C inlet", 676.0, 27.0);
+  coupled("coupled 48 ml/min, 27 C inlet", 48.0, 27.0);
+  coupled("coupled 676 ml/min, 37 C inlet", 676.0, 37.0);
+  return plan;
+}
+
+/// bench/ablation_vrm_placement as data: distributed tap grids vs the
+/// edge-fed baseline vs output resistance, on the cache rail.
+SweepPlan vrm_placement_plan() {
+  SweepPlan plan;
+  plan.name = "ablation_vrm_placement";
+  plan.base = core::power7_system_config();
+  plan.evaluator = rail_integrity_evaluator();
+  for (const double n : {1.0, 2.0, 3.0, 4.0, 6.0, 8.0}) {
+    ScenarioSpec scenario;
+    scenario.name = "distributed " + format_value(n) + "x" + format_value(n);
+    scenario.set("vrm_grid_n", n);
+    scenario.set("vrm_r_mohm", 25.0);
+    plan.add(std::move(scenario));
+  }
+  for (const double per_edge : {4.0, 8.0, 16.0}) {
+    ScenarioSpec scenario;
+    scenario.name = "edge-fed " + format_value(per_edge) + "/side";
+    scenario.set("edge_taps_per_side", per_edge);
+    scenario.set("vrm_r_mohm", 25.0);
+    plan.add(std::move(scenario));
+  }
+  for (const double r_mohm : {5.0, 25.0, 100.0}) {
+    ScenarioSpec scenario;
+    scenario.name = "distributed 4x4, R=" + format_value(r_mohm) + " mohm";
+    scenario.set("vrm_grid_n", 4.0);
+    scenario.set("vrm_r_mohm", r_mohm);
+    plan.add(std::move(scenario));
+  }
+  return plan;
+}
+
+/// A full co-simulated flow x inlet-temperature grid — the design-space
+/// product the one-off benches only sample.
+SweepPlan operating_grid_plan() {
+  SweepPlan plan;
+  plan.name = "operating_grid";
+  plan.base = core::power7_system_config();
+  plan.base.thermal_grid.axial_cells = 16;
+  plan.evaluator = cosim_evaluator();
+  plan.add_grid({{"flow_ml_min", {48.0, 200.0, 676.0}},
+                 {"inlet_c", {27.0, 37.0, 47.0}}});
+  return plan;
+}
+
+}  // namespace
+
+const std::vector<PlanDescription>& registered_plans() {
+  static const std::vector<PlanDescription> plans = {
+      {"ablation_geometry",
+       "channel gap/height, flow and inlet-T vs deliverable power density (bench E9)"},
+      {"temp_sensitivity",
+       "co-simulated thermal feedback on the generated power (bench E8)"},
+      {"ablation_vrm_placement",
+       "VRM count/placement/resistance vs cache-rail integrity (bench E12)"},
+      {"operating_grid",
+       "co-simulated flow x inlet-temperature operating grid (3x3)"},
+  };
+  return plans;
+}
+
+SweepPlan make_registered_plan(const std::string& name) {
+  if (name == "ablation_geometry") {
+    return geometry_plan();
+  }
+  if (name == "temp_sensitivity") {
+    return temperature_plan();
+  }
+  if (name == "ablation_vrm_placement") {
+    return vrm_placement_plan();
+  }
+  if (name == "operating_grid") {
+    return operating_grid_plan();
+  }
+  throw std::invalid_argument("unknown sweep plan: " + name);
+}
+
+}  // namespace brightsi::sweep

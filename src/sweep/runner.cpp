@@ -1,0 +1,207 @@
+#include "sweep/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+
+#include "core/report.h"
+
+namespace brightsi::sweep {
+
+namespace {
+
+/// Shortest exact decimal representation: %.17g round-trips every double,
+/// but prefer the shortest form that still parses back to the same value so
+/// CSV/JSON stay readable.
+std::string format_metric(double value) {
+  char buffer[40];
+  for (const int precision : {9, 12, 17}) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    double parsed = 0.0;
+    if (std::sscanf(buffer, "%lf", &parsed) == 1 && parsed == value) {
+      break;
+    }
+  }
+  return buffer;
+}
+
+/// Ordered union of override names across scenarios (first appearance
+/// wins) — the override column set of the result table.
+std::vector<std::string> collect_override_names(const SweepPlan& plan) {
+  std::vector<std::string> names;
+  for (const ScenarioSpec& scenario : plan.scenarios) {
+    for (const auto& [param, value] : scenario.overrides) {
+      (void)value;
+      bool known = false;
+      for (const std::string& existing : names) {
+        if (existing == param) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        names.push_back(param);
+      }
+    }
+  }
+  return names;
+}
+
+/// One result row as formatted cells: name, overrides (blank when unset),
+/// metrics (blank on failure), error.
+std::vector<std::string> format_row(const SweepResult& result, const ScenarioResult& row) {
+  std::vector<std::string> cells;
+  cells.reserve(1 + result.override_names.size() + result.metric_names.size() + 1);
+  cells.push_back(row.name);
+  for (const std::string& param : result.override_names) {
+    std::string cell;
+    for (const auto& [name, value] : row.overrides) {
+      if (name == param) {
+        cell = format_metric(value);
+        break;
+      }
+    }
+    cells.push_back(std::move(cell));
+  }
+  for (std::size_t m = 0; m < result.metric_names.size(); ++m) {
+    cells.push_back(row.failed ? std::string() : format_metric(row.metrics[m]));
+  }
+  cells.push_back(row.failed ? row.error : std::string());
+  return cells;
+}
+
+std::vector<std::string> result_headers(const SweepResult& result) {
+  std::vector<std::string> headers;
+  headers.reserve(1 + result.override_names.size() + result.metric_names.size() + 1);
+  headers.push_back("scenario");
+  headers.insert(headers.end(), result.override_names.begin(), result.override_names.end());
+  headers.insert(headers.end(), result.metric_names.begin(), result.metric_names.end());
+  headers.push_back("error");
+  return headers;
+}
+
+}  // namespace
+
+int SweepResult::failure_count() const {
+  int failures = 0;
+  for (const ScenarioResult& row : rows) {
+    failures += row.failed ? 1 : 0;
+  }
+  return failures;
+}
+
+double SweepResult::scenarios_per_second() const {
+  return wall_time_s > 0.0 ? static_cast<double>(rows.size()) / wall_time_s : 0.0;
+}
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(options) {}
+
+int SweepRunner::resolved_thread_count() const {
+  if (options_.thread_count > 0) {
+    return options_.thread_count;
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? static_cast<int>(hardware) : 1;
+}
+
+SweepResult SweepRunner::run(const SweepPlan& plan) const {
+  if (!plan.evaluator.fn) {
+    throw std::invalid_argument("sweep plan '" + plan.name + "' has no evaluator");
+  }
+  SweepResult result;
+  result.plan_name = plan.name;
+  result.evaluator_name = plan.evaluator.name;
+  result.metric_names = plan.evaluator.metrics;
+  result.override_names = collect_override_names(plan);
+  result.thread_count = resolved_thread_count();
+  result.rows.resize(plan.scenarios.size());
+
+  const auto sweep_start = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= plan.scenarios.size()) {
+        return;
+      }
+      const ScenarioSpec& scenario = plan.scenarios[i];
+      ScenarioResult& row = result.rows[i];
+      row.name = scenario.name;
+      row.overrides = scenario.overrides;
+      const auto start = std::chrono::steady_clock::now();
+      try {
+        const core::SystemConfig config = apply_scenario(plan.base, scenario);
+        config.validate();
+        row.metrics = plan.evaluator.fn(config, scenario);
+        if (row.metrics.size() != plan.evaluator.metrics.size()) {
+          throw std::logic_error("evaluator '" + plan.evaluator.name +
+                                 "' returned a mismatched metric count");
+        }
+      } catch (const std::exception& e) {
+        row.failed = true;
+        row.error = e.what();
+        row.metrics.assign(plan.evaluator.metrics.size(), 0.0);
+      }
+      row.elapsed_s = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start).count();
+    }
+  };
+
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(result.thread_count, plan.scenarios.size()));
+  std::vector<std::thread> pool;
+  pool.reserve(workers > 0 ? workers - 1 : 0);
+  for (int t = 1; t < workers; ++t) {
+    pool.emplace_back(worker);
+  }
+  worker();  // this thread participates
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  result.wall_time_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - sweep_start).count();
+  return result;
+}
+
+void write_sweep_csv(std::ostream& os, const SweepResult& result) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(result.rows.size());
+  for (const ScenarioResult& row : result.rows) {
+    rows.push_back(format_row(result, row));
+  }
+  core::write_table_csv(os, result_headers(result), rows);
+}
+
+void write_sweep_json(std::ostream& os, const SweepResult& result) {
+  const std::vector<std::string> headers = result_headers(result);
+  std::vector<bool> numeric(headers.size(), true);
+  numeric.front() = false;  // scenario name
+  numeric.back() = false;   // error message
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(result.rows.size());
+  for (const ScenarioResult& row : result.rows) {
+    rows.push_back(format_row(result, row));
+  }
+  os << "{\n"
+     << "  \"plan\": \"" << core::json_escape(result.plan_name) << "\",\n"
+     << "  \"evaluator\": \"" << core::json_escape(result.evaluator_name) << "\",\n"
+     << "  \"scenario_count\": " << result.rows.size() << ",\n"
+     << "  \"rows\": ";
+  core::write_records_json(os, headers, numeric, rows);
+  os << "}\n";
+}
+
+void write_sweep_timing_csv(std::ostream& os, const SweepResult& result) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(result.rows.size() + 1);
+  for (const ScenarioResult& row : result.rows) {
+    rows.push_back({row.name, format_metric(row.elapsed_s)});
+  }
+  rows.push_back({"TOTAL (wall, " + std::to_string(result.thread_count) + " threads)",
+                  format_metric(result.wall_time_s)});
+  core::write_table_csv(os, {"scenario", "elapsed_s"}, rows);
+}
+
+}  // namespace brightsi::sweep

@@ -1,0 +1,74 @@
+// Executes every scenario of a SweepPlan across a worker pool. Scenarios
+// are independent (each builds its own system from the resolved config), so
+// the result values are identical for any thread count; results are stored
+// in plan order regardless of completion order. Per-scenario wall time is
+// recorded separately from the result rows so CSV output stays
+// byte-identical across thread counts.
+#ifndef BRIGHTSI_SWEEP_RUNNER_H
+#define BRIGHTSI_SWEEP_RUNNER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sweep/plan.h"
+
+namespace brightsi::sweep {
+
+struct ScenarioResult {
+  std::string name;
+  std::vector<std::pair<std::string, double>> overrides;
+  std::vector<double> metrics;  ///< aligned with the evaluator's metric names
+  bool failed = false;
+  std::string error;          ///< exception message when failed
+  double elapsed_s = 0.0;     ///< timing only; excluded from result rows
+};
+
+struct SweepResult {
+  std::string plan_name;
+  std::string evaluator_name;
+  std::vector<std::string> metric_names;
+  std::vector<std::string> override_names;  ///< ordered union across scenarios
+  std::vector<ScenarioResult> rows;         ///< in plan order
+  int thread_count = 1;
+  double wall_time_s = 0.0;
+
+  [[nodiscard]] int failure_count() const;
+  [[nodiscard]] double scenarios_per_second() const;
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  int thread_count = 0;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  /// Runs every scenario of the plan. Per-scenario exceptions become failed
+  /// rows (error message captured) rather than aborting the sweep.
+  [[nodiscard]] SweepResult run(const SweepPlan& plan) const;
+
+  [[nodiscard]] int resolved_thread_count() const;
+
+ private:
+  SweepOptions options_;
+};
+
+/// Deterministic result rows: scenario name, override columns (blank where
+/// a scenario does not set the parameter), metric columns, and an error
+/// column. Byte-identical for any thread count.
+void write_sweep_csv(std::ostream& os, const SweepResult& result);
+
+/// Same rows as JSON records, wrapped with plan/evaluator metadata (which
+/// excludes timing, keeping the emission deterministic).
+void write_sweep_json(std::ostream& os, const SweepResult& result);
+
+/// Per-scenario wall time plus the sweep totals (non-deterministic by
+/// nature; kept separate from the result rows).
+void write_sweep_timing_csv(std::ostream& os, const SweepResult& result);
+
+}  // namespace brightsi::sweep
+
+#endif  // BRIGHTSI_SWEEP_RUNNER_H

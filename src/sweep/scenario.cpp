@@ -1,0 +1,128 @@
+#include "sweep/scenario.h"
+
+#include <stdexcept>
+
+namespace brightsi::sweep {
+
+void ScenarioSpec::set(const std::string& param, double value) {
+  for (auto& [name, existing] : overrides) {
+    if (name == param) {
+      existing = value;
+      return;
+    }
+  }
+  overrides.emplace_back(param, value);
+}
+
+std::optional<double> ScenarioSpec::get(const std::string& param) const {
+  for (const auto& [name, value] : overrides) {
+    if (name == param) {
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+const std::vector<ParameterInfo>& parameter_registry() {
+  static const std::vector<ParameterInfo> registry = {
+      {"flow_ml_min", "total electrolyte flow through the array (ml/min)",
+       [](core::SystemConfig& c, double v) {
+         c.array_spec.total_flow_m3_per_s = v * 1e-6 / 60.0;
+       }},
+      {"inlet_c", "electrolyte inlet temperature (deg C)",
+       [](core::SystemConfig& c, double v) {
+         c.array_spec.inlet_temperature_k = v + 273.15;
+       }},
+      {"channel_gap_um", "anode-to-cathode electrode gap (um)",
+       [](core::SystemConfig& c, double v) {
+         c.array_spec.geometry.electrode_gap_m = v * 1e-6;
+       }},
+      {"channel_height_um", "channel etch depth / electrode height (um)",
+       [](core::SystemConfig& c, double v) {
+         c.array_spec.geometry.channel_height_m = v * 1e-6;
+       }},
+      {"channel_length_mm", "channel flow length (mm)",
+       [](core::SystemConfig& c, double v) {
+         c.array_spec.geometry.channel_length_m = v * 1e-3;
+       }},
+      {"channel_count", "number of parallel channels in the array",
+       [](core::SystemConfig& c, double v) {
+         c.array_spec.channel_count = static_cast<int>(v);
+       }},
+      {"channel_groups", "channel groups sharing one axial temperature profile",
+       [](core::SystemConfig& c, double v) {
+         c.channel_groups = static_cast<int>(v);
+       }},
+      {"axial_cells", "thermal-grid cells along the flow direction",
+       [](core::SystemConfig& c, double v) {
+         c.thermal_grid.axial_cells = static_cast<int>(v);
+       }},
+      {"pump_efficiency", "hydraulic pump efficiency (0, 1]",
+       [](core::SystemConfig& c, double v) { c.pump_efficiency = v; }},
+      {"power_scale", "multiplier on every floorplan power density (workload knob)",
+       [](core::SystemConfig& c, double v) {
+         c.power_spec.core_w_per_cm2 *= v;
+         c.power_spec.cache_w_per_cm2 *= v;
+         c.power_spec.logic_w_per_cm2 *= v;
+         c.power_spec.io_w_per_cm2 *= v;
+         c.power_spec.background_w_per_cm2 *= v;
+       }},
+      {"vrm_count_x", "VRM tap columns over the die",
+       [](core::SystemConfig& c, double v) {
+         c.vrm_spec.count_x = static_cast<int>(v);
+       }},
+      {"vrm_count_y", "VRM tap rows over the die",
+       [](core::SystemConfig& c, double v) {
+         c.vrm_spec.count_y = static_cast<int>(v);
+       }},
+      {"vrm_grid_n", "square VRM tap grid: sets both count_x and count_y",
+       [](core::SystemConfig& c, double v) {
+         c.vrm_spec.count_x = static_cast<int>(v);
+         c.vrm_spec.count_y = static_cast<int>(v);
+       }},
+      {"vrm_r_mohm", "per-tap VRM output resistance (mohm)",
+       [](core::SystemConfig& c, double v) {
+         c.vrm_spec.output_resistance_ohm = v * 1e-3;
+       }},
+      {"vrm_set_point_v", "regulated rail set-point voltage (V)",
+       [](core::SystemConfig& c, double v) { c.vrm_spec.set_point_v = v; }},
+      {"vrm_efficiency", "VRM conversion efficiency (0, 1]",
+       [](core::SystemConfig& c, double v) { c.vrm_spec.efficiency = v; }},
+      {"max_cosim_iterations", "fixed-point iteration cap of the co-simulation",
+       [](core::SystemConfig& c, double v) {
+         c.max_cosim_iterations = static_cast<int>(v);
+       }},
+      // Evaluator-consumed parameter: the conventional edge-fed PDN baseline
+      // has no SystemConfig field; rail_integrity_evaluator() reads it off
+      // the scenario directly.
+      {"edge_taps_per_side", "edge-fed baseline: VRM taps per die edge (rail evaluator)",
+       nullptr},
+  };
+  return registry;
+}
+
+const ParameterInfo* find_parameter(const std::string& name) {
+  for (const ParameterInfo& info : parameter_registry()) {
+    if (info.name == name) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+core::SystemConfig apply_scenario(const core::SystemConfig& base,
+                                  const ScenarioSpec& scenario) {
+  core::SystemConfig config = base;
+  for (const auto& [param, value] : scenario.overrides) {
+    const ParameterInfo* info = find_parameter(param);
+    if (info == nullptr) {
+      throw std::invalid_argument("unknown sweep parameter: " + param);
+    }
+    if (info->apply) {
+      info->apply(config, value);
+    }
+  }
+  return config;
+}
+
+}  // namespace brightsi::sweep

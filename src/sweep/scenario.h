@@ -1,0 +1,52 @@
+// Named parameter overrides on a SystemConfig: the unit of work of a
+// design-space sweep. A ScenarioSpec is a list of (parameter, value)
+// overrides applied on top of a base configuration; the legal parameter
+// names live in a registry so plans stay typo-safe and the CLI can list
+// them.
+#ifndef BRIGHTSI_SWEEP_SCENARIO_H
+#define BRIGHTSI_SWEEP_SCENARIO_H
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/system_config.h"
+
+namespace brightsi::sweep {
+
+/// One point of a design-space sweep: a human-readable name plus ordered
+/// (parameter, value) overrides on the plan's base SystemConfig.
+struct ScenarioSpec {
+  std::string name;
+  std::vector<std::pair<std::string, double>> overrides;
+
+  /// Appends the override, or replaces the value if `param` is already set.
+  void set(const std::string& param, double value);
+  [[nodiscard]] std::optional<double> get(const std::string& param) const;
+};
+
+/// A sweepable parameter. `apply` rewrites the SystemConfig; it is null for
+/// parameters consumed directly by an evaluator (e.g. the edge-fed VRM
+/// baseline, which has no SystemConfig field).
+struct ParameterInfo {
+  std::string name;
+  std::string description;
+  std::function<void(core::SystemConfig&, double)> apply;
+};
+
+/// All legal scenario parameters, in presentation order.
+[[nodiscard]] const std::vector<ParameterInfo>& parameter_registry();
+
+/// Looks up a parameter; nullptr when `name` is not registered.
+[[nodiscard]] const ParameterInfo* find_parameter(const std::string& name);
+
+/// Applies the scenario's overrides to a copy of `base`. Throws
+/// std::invalid_argument on an unregistered parameter name.
+[[nodiscard]] core::SystemConfig apply_scenario(const core::SystemConfig& base,
+                                                const ScenarioSpec& scenario);
+
+}  // namespace brightsi::sweep
+
+#endif  // BRIGHTSI_SWEEP_SCENARIO_H

@@ -205,7 +205,7 @@ TEST(BvInversion, ThrowsOnImpossibleDirection) {
   s.exchange_current_density_a_per_m2 = 10.0;
   s.temperature_k = kT;
   s.reduced_surface_ratio = 0.0;  // no reductant at the surface
-  EXPECT_THROW(ec::overpotential_for_current(s, 10.0), std::invalid_argument);
+  EXPECT_THROW((void)ec::overpotential_for_current(s, 10.0), std::invalid_argument);
 }
 
 TEST(MassTransportOverpotential, NernstianShift) {
@@ -241,8 +241,8 @@ TEST(TemperatureLaws, LinearLawSlope) {
 
 TEST(TemperatureLaws, RejectNonPositiveTemperature) {
   const ec::ArrheniusLaw law{1.0, 1000.0, 300.0};
-  EXPECT_THROW(law.at(0.0), std::invalid_argument);
-  EXPECT_THROW(law.at(-5.0), std::invalid_argument);
+  EXPECT_THROW((void)law.at(0.0), std::invalid_argument);
+  EXPECT_THROW((void)law.at(-5.0), std::invalid_argument);
 }
 
 // ------------------------------------------------------------- presets

@@ -468,7 +468,7 @@ TEST(CellArray, PerChannelProfilesSumLikeUniform) {
   EXPECT_NEAR(array.current_at_voltage_per_channel(1.0, profiles),
               array.current_at_voltage(1.0), 1e-9);
   const std::vector<std::vector<double>> wrong_count(3, std::vector<double>{300.0});
-  EXPECT_THROW(array.current_at_voltage_per_channel(1.0, wrong_count),
+  EXPECT_THROW((void)array.current_at_voltage_per_channel(1.0, wrong_count),
                std::invalid_argument);
 }
 

@@ -144,9 +144,9 @@ TEST(VelocityProfile, SymmetricAboutCenterline) {
 TEST(VelocityProfile, RejectsOutOfDuctQueries) {
   const hy::RectangularDuct d(1e-3, 1e-3, 0.1);
   const hy::DuctVelocityProfile profile(d);
-  EXPECT_THROW(profile.depth_averaged(-1e-6), std::invalid_argument);
-  EXPECT_THROW(profile.depth_averaged(1.1e-3), std::invalid_argument);
-  EXPECT_THROW(profile.normalized_at(0.5e-3, 2e-3), std::invalid_argument);
+  EXPECT_THROW((void)profile.depth_averaged(-1e-6), std::invalid_argument);
+  EXPECT_THROW((void)profile.depth_averaged(1.1e-3), std::invalid_argument);
+  EXPECT_THROW((void)profile.normalized_at(0.5e-3, 2e-3), std::invalid_argument);
 }
 
 // -------------------------------------------------------------------- pump
@@ -163,8 +163,8 @@ TEST(Pump, EfficiencyScaling) {
 }
 
 TEST(Pump, RejectsBadEfficiency) {
-  EXPECT_THROW(hy::pumping_power_w(1.0, 1.0, 0.0), std::invalid_argument);
-  EXPECT_THROW(hy::pumping_power_w(1.0, 1.0, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)hy::pumping_power_w(1.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)hy::pumping_power_w(1.0, 1.0, 1.5), std::invalid_argument);
 }
 
 TEST(Pump, MinorLossQuadraticInVelocity) {

@@ -1,0 +1,266 @@
+// Tests of the scenario-sweep engine: plan expansion, scenario overrides,
+// runner determinism across thread counts, and cross-checks of the sweep
+// rows against direct evaluations of the underlying models.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/cosim.h"
+#include "flowcell/cell_array.h"
+#include "hydraulics/pump.h"
+#include "sweep/registry.h"
+#include "sweep/runner.h"
+
+namespace co = brightsi::core;
+namespace fc = brightsi::flowcell;
+namespace hy = brightsi::hydraulics;
+namespace sw = brightsi::sweep;
+
+namespace {
+
+std::string csv_of(const sw::SweepResult& result) {
+  std::stringstream stream;
+  sw::write_sweep_csv(stream, result);
+  return stream.str();
+}
+
+std::string json_of(const sw::SweepResult& result) {
+  std::stringstream stream;
+  sw::write_sweep_json(stream, result);
+  return stream.str();
+}
+
+/// A fast 2x2 co-simulation grid (coarse thermal axis keeps it quick).
+sw::SweepPlan small_cosim_grid() {
+  sw::SweepPlan plan;
+  plan.name = "test_grid";
+  plan.base = co::power7_system_config();
+  plan.base.thermal_grid.axial_cells = 8;
+  plan.evaluator = sw::cosim_evaluator();
+  plan.add_grid({{"channel_gap_um", {150.0, 250.0}},
+                 {"channel_height_um", {300.0, 500.0}}});
+  return plan;
+}
+
+TEST(ScenarioSpec, SetAppendsAndReplaces) {
+  sw::ScenarioSpec scenario;
+  scenario.set("flow_ml_min", 676.0);
+  scenario.set("inlet_c", 27.0);
+  scenario.set("flow_ml_min", 48.0);
+  ASSERT_EQ(scenario.overrides.size(), 2u);
+  EXPECT_DOUBLE_EQ(*scenario.get("flow_ml_min"), 48.0);
+  EXPECT_DOUBLE_EQ(*scenario.get("inlet_c"), 27.0);
+  EXPECT_FALSE(scenario.get("channel_gap_um").has_value());
+}
+
+TEST(ScenarioSpec, ApplyRewritesTheConfig) {
+  const co::SystemConfig base = co::power7_system_config();
+  sw::ScenarioSpec scenario;
+  scenario.set("flow_ml_min", 48.0);
+  scenario.set("inlet_c", 37.0);
+  scenario.set("vrm_grid_n", 6.0);
+  const co::SystemConfig config = sw::apply_scenario(base, scenario);
+  EXPECT_NEAR(config.array_spec.total_flow_m3_per_s, 48.0 * 1e-6 / 60.0, 1e-15);
+  EXPECT_NEAR(config.array_spec.inlet_temperature_k, 310.15, 1e-12);
+  EXPECT_EQ(config.vrm_spec.count_x, 6);
+  EXPECT_EQ(config.vrm_spec.count_y, 6);
+  // The base is untouched.
+  EXPECT_EQ(base.vrm_spec.count_x, 4);
+}
+
+TEST(ScenarioSpec, UnknownParameterThrows) {
+  const co::SystemConfig base = co::power7_system_config();
+  sw::ScenarioSpec scenario;
+  scenario.set("not_a_parameter", 1.0);
+  EXPECT_THROW((void)sw::apply_scenario(base, scenario), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, EveryRegistryEntryIsNamedAndDescribed) {
+  for (const sw::ParameterInfo& info : sw::parameter_registry()) {
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_FALSE(info.description.empty());
+    EXPECT_EQ(sw::find_parameter(info.name), &info);
+  }
+  EXPECT_EQ(sw::find_parameter("nope"), nullptr);
+}
+
+TEST(SweepPlan, GridExpandsRowMajor) {
+  sw::SweepPlan plan;
+  plan.add_grid({{"channel_gap_um", {100.0, 200.0}},
+                 {"flow_ml_min", {48.0, 676.0}}},
+                {{"inlet_c", 27.0}});
+  ASSERT_EQ(plan.scenarios.size(), 4u);
+  // Last axis varies fastest.
+  EXPECT_DOUBLE_EQ(*plan.scenarios[0].get("channel_gap_um"), 100.0);
+  EXPECT_DOUBLE_EQ(*plan.scenarios[0].get("flow_ml_min"), 48.0);
+  EXPECT_DOUBLE_EQ(*plan.scenarios[1].get("flow_ml_min"), 676.0);
+  EXPECT_DOUBLE_EQ(*plan.scenarios[2].get("channel_gap_um"), 200.0);
+  // The common override lands on every scenario.
+  for (const sw::ScenarioSpec& scenario : plan.scenarios) {
+    EXPECT_DOUBLE_EQ(*scenario.get("inlet_c"), 27.0);
+  }
+  EXPECT_EQ(plan.scenarios[0].name, "channel_gap_um=100 flow_ml_min=48");
+}
+
+TEST(SweepPlan, EmptyAxisExpandsToNothing) {
+  sw::SweepPlan plan;
+  plan.add_grid({{"channel_gap_um", {100.0, 200.0}}, {"flow_ml_min", {}}});
+  EXPECT_TRUE(plan.scenarios.empty());
+}
+
+TEST(SweepPlan, AddListAutoNames) {
+  sw::SweepPlan plan;
+  plan.add_list("flow_ml_min", {48.0, 676.0});
+  ASSERT_EQ(plan.scenarios.size(), 2u);
+  EXPECT_EQ(plan.scenarios[0].name, "flow_ml_min=48");
+  EXPECT_EQ(plan.scenarios[1].name, "flow_ml_min=676");
+}
+
+TEST(SweepRunner, EmptyPlanYieldsEmptyResult) {
+  sw::SweepPlan plan;
+  plan.name = "empty";
+  plan.base = co::power7_system_config();
+  plan.evaluator = sw::array_power_evaluator();
+  const sw::SweepRunner runner({4});
+  const sw::SweepResult result = runner.run(plan);
+  EXPECT_TRUE(result.rows.empty());
+  EXPECT_EQ(result.failure_count(), 0);
+  // Header-only CSV, empty JSON records.
+  EXPECT_EQ(csv_of(result),
+            "scenario,current_1v_a,power_density_w_cm2,dp_bar,pump_w,net_w,error\n");
+}
+
+TEST(SweepRunner, PlanWithoutEvaluatorThrows) {
+  sw::SweepPlan plan;
+  plan.base = co::power7_system_config();
+  const sw::SweepRunner runner;
+  EXPECT_THROW((void)runner.run(plan), std::invalid_argument);
+}
+
+TEST(SweepRunner, SingleScenarioMatchesDirectArrayEvaluation) {
+  sw::SweepPlan plan;
+  plan.name = "single";
+  plan.base = co::power7_system_config();
+  plan.evaluator = sw::array_power_evaluator();
+  sw::ScenarioSpec scenario;
+  scenario.name = "nominal";
+  scenario.set("flow_ml_min", 200.0);
+  plan.add(scenario);
+
+  const sw::SweepResult result = sw::SweepRunner({1}).run(plan);
+  ASSERT_EQ(result.rows.size(), 1u);
+  ASSERT_FALSE(result.rows[0].failed);
+
+  // Direct evaluation, the way bench/ablation_geometry does it.
+  auto spec = plan.base.array_spec;
+  spec.total_flow_m3_per_s = 200.0 * 1e-6 / 60.0;
+  const fc::FlowCellArray array(spec, plan.base.chemistry, plan.base.fvm);
+  const double current = array.current_at_voltage(1.0, {spec.inlet_temperature_k});
+  const auto h = array.hydraulics_at_spec_flow();
+  const double pump =
+      hy::pumping_power_w(h.pressure_drop_pa, spec.total_flow_m3_per_s, 0.5);
+
+  EXPECT_DOUBLE_EQ(result.rows[0].metrics[0], current);
+  EXPECT_DOUBLE_EQ(result.rows[0].metrics[2], h.pressure_drop_pa / 1e5);
+  EXPECT_DOUBLE_EQ(result.rows[0].metrics[3], pump);
+  EXPECT_DOUBLE_EQ(result.rows[0].metrics[4], current - pump);
+}
+
+TEST(SweepRunner, GeometryGridMatchesDirectCosim) {
+  const sw::SweepPlan plan = small_cosim_grid();
+  const sw::SweepResult result = sw::SweepRunner({2}).run(plan);
+  ASSERT_EQ(result.rows.size(), 4u);
+
+  for (const sw::ScenarioResult& row : result.rows) {
+    ASSERT_FALSE(row.failed) << row.error;
+    co::SystemConfig config = plan.base;
+    ASSERT_EQ(row.overrides[0].first, "channel_gap_um");
+    ASSERT_EQ(row.overrides[1].first, "channel_height_um");
+    config.array_spec.geometry.electrode_gap_m = row.overrides[0].second * 1e-6;
+    config.array_spec.geometry.channel_height_m = row.overrides[1].second * 1e-6;
+    const co::IntegratedMpsocSystem system(config);
+    const co::CoSimReport report = system.run();
+    EXPECT_DOUBLE_EQ(row.metrics[2], report.peak_temperature_c) << row.name;
+    EXPECT_DOUBLE_EQ(row.metrics[10], report.net_power_w) << row.name;
+    EXPECT_DOUBLE_EQ(row.metrics[12], report.coupled_current_a) << row.name;
+  }
+}
+
+TEST(SweepRunner, ByteIdenticalAcrossThreadCounts) {
+  // The acceptance bar: >= 4 threads must produce byte-identical result
+  // rows to a 1-thread run of the same plan.
+  sw::SweepPlan plan = sw::make_registered_plan("ablation_geometry");
+  const sw::SweepResult serial = sw::SweepRunner({1}).run(plan);
+  const sw::SweepResult parallel4 = sw::SweepRunner({4}).run(plan);
+  const sw::SweepResult parallel8 = sw::SweepRunner({8}).run(plan);
+  EXPECT_EQ(csv_of(serial), csv_of(parallel4));
+  EXPECT_EQ(csv_of(serial), csv_of(parallel8));
+  EXPECT_EQ(json_of(serial), json_of(parallel4));
+  ASSERT_EQ(serial.rows.size(), 14u);
+  for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+    EXPECT_EQ(parallel4.rows[i].name, serial.rows[i].name);
+  }
+}
+
+TEST(SweepRunner, FailedScenarioBecomesARowNotAnAbort) {
+  sw::SweepPlan plan;
+  plan.name = "failing";
+  plan.base = co::power7_system_config();
+  plan.evaluator = sw::array_power_evaluator();
+  sw::ScenarioSpec bad;
+  bad.name = "bad groups";
+  bad.set("channel_groups", 7.0);  // 88 % 7 != 0 -> validate() throws
+  plan.add(bad);
+  sw::ScenarioSpec good;
+  good.name = "nominal";
+  plan.add(good);
+
+  const sw::SweepResult result = sw::SweepRunner({2}).run(plan);
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_TRUE(result.rows[0].failed);
+  EXPECT_FALSE(result.rows[0].error.empty());
+  EXPECT_FALSE(result.rows[1].failed);
+  EXPECT_EQ(result.failure_count(), 1);
+}
+
+TEST(SweepRegistry, PlansValidateAndMatchTheBenches) {
+  for (const sw::PlanDescription& description : sw::registered_plans()) {
+    const sw::SweepPlan plan = sw::make_registered_plan(description.name);
+    EXPECT_EQ(plan.name, description.name);
+    EXPECT_NO_THROW(plan.validate()) << description.name;
+    EXPECT_FALSE(plan.scenarios.empty()) << description.name;
+  }
+  EXPECT_THROW((void)sw::make_registered_plan("nope"), std::invalid_argument);
+  // The geometry plan carries the bench's 14 design points.
+  EXPECT_EQ(sw::make_registered_plan("ablation_geometry").scenarios.size(), 14u);
+  EXPECT_EQ(sw::make_registered_plan("ablation_vrm_placement").scenarios.size(), 12u);
+  EXPECT_EQ(sw::make_registered_plan("temp_sensitivity").scenarios.size(), 3u);
+}
+
+TEST(SweepRegistry, VrmPlanReproducesTheEdgeVsDistributedShape) {
+  const sw::SweepPlan plan = sw::make_registered_plan("ablation_vrm_placement");
+  const sw::SweepResult result = sw::SweepRunner({4}).run(plan);
+  ASSERT_EQ(result.failure_count(), 0);
+  // distributed 4x4 (row 3) vs edge-fed 8/side (row 7): equal tap count,
+  // distributed wins on min rail voltage — the paper's argument.
+  const double distributed_min = result.rows[3].metrics[1];
+  const double edge_min = result.rows[7].metrics[1];
+  EXPECT_DOUBLE_EQ(result.rows[3].metrics[0], 16.0);
+  EXPECT_DOUBLE_EQ(result.rows[7].metrics[0], 16.0);
+  EXPECT_GT(distributed_min, edge_min);
+}
+
+TEST(SweepCsv, QuotesCellsWithCommas) {
+  sw::SweepPlan plan;
+  plan.name = "quoting";
+  plan.base = co::power7_system_config();
+  plan.evaluator = sw::array_power_evaluator();
+  sw::ScenarioSpec scenario;
+  scenario.name = "a, \"quoted\" name";
+  plan.add(scenario);
+  const sw::SweepResult result = sw::SweepRunner({1}).run(plan);
+  const std::string csv = csv_of(result);
+  EXPECT_NE(csv.find("\"a, \"\"quoted\"\" name\""), std::string::npos) << csv;
+}
+
+}  // namespace

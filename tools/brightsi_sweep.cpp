@@ -1,0 +1,234 @@
+// brightsi_sweep — run design-space sweeps of the integrated microfluidic
+// power/cooling system on every core.
+//
+//   brightsi_sweep --list                      registered plans
+//   brightsi_sweep --params                    sweepable parameters
+//   brightsi_sweep <plan> [options]            run a registered plan
+//   brightsi_sweep custom --evaluator <name>
+//       --grid p=v1,v2,... [--grid ...] [--set p=v ...]   ad-hoc sweep
+//
+// Options:
+//   --threads N     worker threads (default: hardware concurrency)
+//   --csv FILE      write result rows (FILE may be '-' for stdout)
+//   --json FILE     write result records as JSON
+//   --timing FILE   write per-scenario wall time
+//   --quiet         suppress the result table on stdout
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "sweep/registry.h"
+#include "sweep/runner.h"
+
+namespace sw = brightsi::sweep;
+using brightsi::core::TextTable;
+
+namespace {
+
+int usage(const char* argv0, int exit_code) {
+  std::fprintf(exit_code == 0 ? stdout : stderr,
+               "usage: %s --list | --params\n"
+               "       %s <plan> [--threads N] [--csv FILE] [--json FILE]"
+               " [--timing FILE] [--quiet]\n"
+               "       %s custom --evaluator cosim|array|rail"
+               " (--grid p=v1,v2,... | --set p=v)... [options]\n",
+               argv0, argv0, argv0);
+  return exit_code;
+}
+
+void list_plans() {
+  TextTable table({"plan", "summary"});
+  for (const sw::PlanDescription& plan : sw::registered_plans()) {
+    table.add_row({plan.name, plan.summary});
+  }
+  table.print(std::cout);
+}
+
+void list_parameters() {
+  TextTable table({"parameter", "description"});
+  for (const sw::ParameterInfo& info : sw::parameter_registry()) {
+    table.add_row({info.name, info.description});
+  }
+  table.print(std::cout);
+}
+
+std::vector<double> parse_values(const std::string& csv) {
+  std::vector<double> values;
+  std::stringstream stream(csv);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    try {
+      std::size_t consumed = 0;
+      values.push_back(std::stod(token, &consumed));
+      if (consumed != token.size()) {
+        throw std::invalid_argument(token);
+      }
+    } catch (const std::exception&) {
+      throw std::invalid_argument("not a number: '" + token + "'");
+    }
+  }
+  return values;
+}
+
+/// Splits "param=v1,v2,..." into an axis; throws on a missing '='.
+sw::GridAxis parse_axis(const std::string& text) {
+  const auto eq = text.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw std::invalid_argument("expected param=value[,value...], got: " + text);
+  }
+  sw::GridAxis axis{text.substr(0, eq), parse_values(text.substr(eq + 1))};
+  if (axis.values.empty()) {
+    throw std::invalid_argument("no values given for parameter: " + axis.param);
+  }
+  return axis;
+}
+
+void print_result_table(const sw::SweepResult& result) {
+  std::vector<std::string> headers = {"scenario"};
+  headers.insert(headers.end(), result.metric_names.begin(), result.metric_names.end());
+  TextTable table(headers);
+  for (const sw::ScenarioResult& row : result.rows) {
+    std::vector<std::string> cells = {row.name};
+    if (row.failed) {
+      for (std::size_t m = 0; m < result.metric_names.size(); ++m) {
+        cells.push_back(m == 0 ? "FAILED: " + row.error : "-");
+      }
+    } else {
+      for (const double metric : row.metrics) {
+        cells.push_back(TextTable::num(metric, 4));
+      }
+    }
+    table.add_row(std::move(cells));
+  }
+  table.print(std::cout);
+  std::printf("\n%zu scenarios (%d failed) in %.2f s on %d threads (%.2f scenarios/s)\n",
+              result.rows.size(), result.failure_count(), result.wall_time_s,
+              result.thread_count, result.scenarios_per_second());
+}
+
+/// Writes through the requested sink: '-' = stdout, else a file path.
+bool emit(const std::string& path, const char* what,
+          const std::function<void(std::ostream&)>& writer) {
+  if (path == "-") {
+    writer(std::cout);
+    return true;
+  }
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot open %s file '%s'\n", what, path.c_str());
+    return false;
+  }
+  writer(file);
+  std::fprintf(stderr, "wrote %s to %s\n", what, path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage(argv[0], 2);
+  }
+  const std::string command = argv[1];
+  if (command == "--help" || command == "-h") {
+    return usage(argv[0], 0);
+  }
+  if (command == "--list") {
+    list_plans();
+    return 0;
+  }
+  if (command == "--params") {
+    list_parameters();
+    return 0;
+  }
+
+  try {
+    sw::SweepOptions options;
+    std::string csv_path;
+    std::string json_path;
+    std::string timing_path;
+    bool quiet = false;
+    std::string evaluator_name;
+    std::vector<sw::GridAxis> grid_axes;
+    std::vector<std::pair<std::string, double>> fixed;
+
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument("missing value after " + arg);
+        }
+        return argv[++i];
+      };
+      if (arg == "--threads") {
+        options.thread_count = std::stoi(next());
+      } else if (arg == "--csv") {
+        csv_path = next();
+      } else if (arg == "--json") {
+        json_path = next();
+      } else if (arg == "--timing") {
+        timing_path = next();
+      } else if (arg == "--quiet") {
+        quiet = true;
+      } else if (arg == "--evaluator") {
+        evaluator_name = next();
+      } else if (arg == "--grid") {
+        grid_axes.push_back(parse_axis(next()));
+      } else if (arg == "--set") {
+        const std::string assignment = next();
+        const sw::GridAxis axis = parse_axis(assignment);
+        if (axis.values.size() != 1) {
+          throw std::invalid_argument("--set takes a single value: " + assignment);
+        }
+        fixed.emplace_back(axis.param, axis.values.front());
+      } else {
+        std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
+        return usage(argv[0], 2);
+      }
+    }
+
+    sw::SweepPlan plan;
+    if (command == "custom") {
+      if (evaluator_name.empty() || grid_axes.empty()) {
+        std::fprintf(stderr, "error: custom sweeps need --evaluator and --grid\n");
+        return usage(argv[0], 2);
+      }
+      plan.name = "custom";
+      plan.base = brightsi::core::power7_system_config();
+      plan.evaluator = sw::make_evaluator(evaluator_name);
+      plan.add_grid(grid_axes, fixed);
+    } else {
+      plan = sw::make_registered_plan(command);
+    }
+    plan.validate();
+
+    const sw::SweepRunner runner(options);
+    const sw::SweepResult result = runner.run(plan);
+
+    if (!quiet) {
+      print_result_table(result);
+    }
+    bool ok = true;
+    if (!csv_path.empty()) {
+      ok = emit(csv_path, "CSV", [&](std::ostream& os) { write_sweep_csv(os, result); }) && ok;
+    }
+    if (!json_path.empty()) {
+      ok = emit(json_path, "JSON",
+                [&](std::ostream& os) { write_sweep_json(os, result); }) && ok;
+    }
+    if (!timing_path.empty()) {
+      ok = emit(timing_path, "timing",
+                [&](std::ostream& os) { write_sweep_timing_csv(os, result); }) && ok;
+    }
+    return (ok && result.failure_count() == 0) ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
