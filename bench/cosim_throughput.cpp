@@ -1,0 +1,131 @@
+// Co-simulation throughput: repeated IntegratedMpsocSystem::run() on the
+// paper's POWER7+ configuration — the unit of work of every cosim sweep
+// scenario, and the path the stateful solve contexts accelerate
+// (assemble-once operator, reusable ILU(0), warm starts across the
+// fixed-point iterations).
+//
+// Prints a human-readable summary and writes a machine-readable
+// BENCH_cosim.json (runs/s, mean BiCGSTAB iterations per run, assembly vs
+// solve time split) that starts the repo's perf trajectory; the CI Release
+// job uploads it as an artifact. A non-flag first argument overrides the
+// JSON path.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "core/cosim.h"
+
+namespace co = brightsi::core;
+
+namespace {
+
+struct Measurement {
+  int runs = 0;
+  double wall_s = 0.0;
+  long long thermal_solves = 0;
+  long long thermal_iterations = 0;
+  double thermal_assembly_s = 0.0;
+  double thermal_solve_s = 0.0;
+
+  [[nodiscard]] double runs_per_s() const { return wall_s > 0.0 ? runs / wall_s : 0.0; }
+};
+
+/// Repeated run() on one system until the measurement is stable (>= 2 s of
+/// wall time), after a warm-up run.
+Measurement measure_repeated_runs(const co::IntegratedMpsocSystem& system) {
+  (void)system.run();  // warm-up: first-touch allocations, cache warming
+  Measurement m;
+  const auto start = std::chrono::steady_clock::now();
+  while (true) {
+    const co::CoSimReport report = system.run();
+    ++m.runs;
+    m.thermal_solves += report.thermal_solves;
+    m.thermal_iterations += report.thermal_iterations;
+    m.thermal_assembly_s += report.thermal_assembly_time_s;
+    m.thermal_solve_s += report.thermal_solve_time_s;
+    m.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if ((m.wall_s >= 2.0 && m.runs >= 5) || m.runs >= 64) {
+      return m;
+    }
+  }
+}
+
+void write_json(const char* path, const Measurement& m) {
+  std::FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(file,
+               "{\n"
+               "  \"bench\": \"cosim_throughput\",\n"
+               "  \"runs\": %d,\n"
+               "  \"wall_s\": %.6f,\n"
+               "  \"runs_per_s\": %.4f,\n"
+               "  \"mean_run_s\": %.6f,\n"
+               "  \"mean_thermal_solves_per_run\": %.3f,\n"
+               "  \"mean_bicgstab_iterations_per_run\": %.3f,\n"
+               "  \"thermal_assembly_s_per_run\": %.6f,\n"
+               "  \"thermal_solve_s_per_run\": %.6f,\n"
+               "  \"thermal_assembly_fraction\": %.4f,\n"
+               "  \"thermal_solve_fraction\": %.4f\n"
+               "}\n",
+               m.runs, m.wall_s, m.runs_per_s(), m.wall_s / m.runs,
+               static_cast<double>(m.thermal_solves) / m.runs,
+               static_cast<double>(m.thermal_iterations) / m.runs,
+               m.thermal_assembly_s / m.runs, m.thermal_solve_s / m.runs,
+               m.thermal_assembly_s / m.wall_s, m.thermal_solve_s / m.wall_s);
+  std::fclose(file);
+  std::printf("wrote %s\n", path);
+}
+
+void print_reproduction(const char* json_path) {
+  const co::SystemConfig config = co::power7_system_config();
+  const co::IntegratedMpsocSystem system(config);
+  const Measurement m = measure_repeated_runs(system);
+
+  std::printf("== cosim throughput: repeated IntegratedMpsocSystem::run() ==\n");
+  std::printf("%d runs in %.3f s -> %.3f runs/s (mean %.3f s/run)\n", m.runs, m.wall_s,
+              m.runs_per_s(), m.wall_s / m.runs);
+  std::printf("thermal: %.1f solves/run, %.1f BiCGSTAB iterations/run (warm starts"
+              " collapse the re-check solve)\n",
+              static_cast<double>(m.thermal_solves) / m.runs,
+              static_cast<double>(m.thermal_iterations) / m.runs);
+  std::printf("time split per run: assembly %.1f ms (%.0f%%), krylov %.1f ms (%.0f%%),"
+              " electrochem/pdn/other %.1f ms (%.0f%%)\n\n",
+              1e3 * m.thermal_assembly_s / m.runs, 100.0 * m.thermal_assembly_s / m.wall_s,
+              1e3 * m.thermal_solve_s / m.runs, 100.0 * m.thermal_solve_s / m.wall_s,
+              1e3 * (m.wall_s - m.thermal_assembly_s - m.thermal_solve_s) / m.runs,
+              100.0 * (m.wall_s - m.thermal_assembly_s - m.thermal_solve_s) / m.wall_s);
+  write_json(json_path, m);
+}
+
+void bm_cosim_run(benchmark::State& state) {
+  const co::SystemConfig config = co::power7_system_config();
+  const co::IntegratedMpsocSystem system(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.run());
+  }
+}
+BENCHMARK(bm_cosim_run)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = "BENCH_cosim.json";
+  if (argc > 1 && std::strncmp(argv[1], "--", 2) != 0) {
+    json_path = argv[1];
+    for (int i = 1; i + 1 < argc; ++i) {
+      argv[i] = argv[i + 1];
+    }
+    --argc;
+  }
+  print_reproduction(json_path);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -18,6 +18,7 @@
 
 #include "core/system_config.h"
 #include "flowcell/polarization.h"
+#include "thermal/solve_context.h"
 
 namespace brightsi::core {
 
@@ -59,13 +60,32 @@ struct CoSimReport {
   double isothermal_current_a = 0.0;
   double coupled_current_a = 0.0;
   double thermal_current_gain = 0.0;  ///< coupled/isothermal - 1
+
+  /// Thermal solver work spent inside this run (solve-context stats delta):
+  /// the observable behind the assemble-once / warm-start speedup.
+  int thermal_solves = 0;
+  long long thermal_iterations = 0;      ///< BiCGSTAB iterations, summed
+  double thermal_assembly_time_s = 0.0;  ///< fill + refill + ILU(0) refactor
+  double thermal_solve_time_s = 0.0;     ///< time inside the Krylov solver
 };
 
 class IntegratedMpsocSystem {
  public:
   explicit IntegratedMpsocSystem(SystemConfig config);
 
+  /// Builds the system around an already-assembled thermal model (shared
+  /// across systems whose scenarios differ only in operating-point
+  /// parameters — the sweep structure cache). The model must match the
+  /// config's thermal grid and stack; a null pointer builds one internally.
+  IntegratedMpsocSystem(SystemConfig config,
+                        std::shared_ptr<const thermal::ThermalModel> thermal_model);
+
   /// Runs the fixed-point co-simulation at the configured operating point.
+  /// One thermal solve context is carried across the fixed-point
+  /// iterations (warm starts), and reset on entry so repeated runs are
+  /// reproducible. Deterministic, but not reentrant: concurrent run()
+  /// calls on one instance must be externally serialized (sweep workers
+  /// each own their system).
   [[nodiscard]] CoSimReport run() const;
 
   /// Array polarization sweep under the co-simulated (non-isothermal)
@@ -92,7 +112,10 @@ class IntegratedMpsocSystem {
  private:
   SystemConfig config_;
   chip::Floorplan floorplan_;
-  std::unique_ptr<thermal::ThermalModel> thermal_model_;
+  std::shared_ptr<const thermal::ThermalModel> thermal_model_;
+  /// Mutable solve state behind the const run(): reset per run, so the
+  /// cache/warm-start machinery never leaks across runs.
+  mutable std::unique_ptr<thermal::ThermalSolveContext> thermal_context_;
   std::unique_ptr<flowcell::FlowCellArray> array_;
   std::unique_ptr<pdn::PowerGrid> power_grid_;
 

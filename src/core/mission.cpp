@@ -8,7 +8,7 @@
 #include "numerics/contracts.h"
 #include "numerics/root_finding.h"
 #include "pdn/vrm.h"
-#include "thermal/model.h"
+#include "thermal/solve_context.h"
 
 namespace brightsi::core {
 
@@ -77,10 +77,12 @@ MissionResult run_mission(const MissionConfig& config) {
   config.validate();
   const SystemConfig& sys = config.system;
 
-  // Thermal model shared across the mission.
+  // Thermal model shared across the mission; one solve context carries the
+  // assembled operator and warm starts across every transient step.
   const chip::Floorplan reference_floorplan = chip::make_power7_floorplan(sys.power_spec);
   th::ThermalModel thermal(sys.stack, reference_floorplan.die_width(),
                            reference_floorplan.die_height(), sys.thermal_grid);
+  th::ThermalSolveContext thermal_context(thermal);
   th::OperatingPoint op;
   op.total_flow_m3_per_s = sys.array_spec.total_flow_m3_per_s;
   op.inlet_temperature_k = sys.array_spec.inlet_temperature_k;
@@ -113,7 +115,8 @@ MissionResult run_mission(const MissionConfig& config) {
     const chip::WorkloadPhase& phase = config.workload.phase_at(t);
     const chip::Floorplan floorplan = chip::apply_phase(sys.power_spec, phase);
 
-    const th::ThermalSolution sol = thermal.step_transient(state, floorplan, op, config.dt_s);
+    const th::ThermalSolution sol =
+        thermal_context.step_transient(state, floorplan, op, config.dt_s);
     state = sol.temperature_k;
     double outlet_mean = op.inlet_temperature_k;
     if (!sol.channel_outlet_k.empty()) {

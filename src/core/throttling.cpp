@@ -4,6 +4,7 @@
 
 #include "electrochem/constants.h"
 #include "numerics/contracts.h"
+#include "thermal/solve_context.h"
 
 namespace brightsi::core {
 namespace {
@@ -14,7 +15,12 @@ struct Evaluation {
   bool feasible = false;
 };
 
-Evaluation evaluate_activity(const ThrottleEnvironment& env,
+// The bisection re-solves the same operator at slightly different power
+// maps, so one solve context is carried across evaluations: the matrix
+// pattern, ILU(0) storage and Krylov workspace are reused and each solve
+// warm-starts from the previous activity's field.
+Evaluation evaluate_activity(thermal::ThermalSolveContext& thermal_context,
+                             const ThrottleEnvironment& env,
                              const ThrottleConstraints& constraints, double activity) {
   chip::Power7PowerSpec spec = env.power_spec;
   spec.core_w_per_cm2 *= activity;
@@ -22,7 +28,7 @@ Evaluation evaluate_activity(const ThrottleEnvironment& env,
 
   Evaluation eval;
   const thermal::ThermalSolution thermal =
-      env.thermal_model->solve_steady(floorplan, env.thermal_op);
+      thermal_context.solve_steady(floorplan, env.thermal_op);
   eval.peak_c = electrochem::constants::kelvin_to_celsius(thermal.peak_temperature_k);
 
   pdn::PowerGrid grid(*env.grid_spec, floorplan,
@@ -47,8 +53,9 @@ ThrottleResult find_max_core_activity(const ThrottleEnvironment& env,
   ensure_positive(activity_tolerance, "activity tolerance");
 
   ThrottleResult result;
+  thermal::ThermalSolveContext thermal_context(*env.thermal_model);
 
-  Evaluation at_full = evaluate_activity(env, constraints, 1.0);
+  Evaluation at_full = evaluate_activity(thermal_context, env, constraints, 1.0);
   if (at_full.feasible) {
     result.max_activity = 1.0;
     result.peak_temperature_c = at_full.peak_c;
@@ -59,7 +66,7 @@ ThrottleResult find_max_core_activity(const ThrottleEnvironment& env,
     Evaluation at_best{};
     while (hi - lo > activity_tolerance) {
       const double mid = 0.5 * (lo + hi);
-      const Evaluation eval = evaluate_activity(env, constraints, mid);
+      const Evaluation eval = evaluate_activity(thermal_context, env, constraints, mid);
       if (eval.feasible) {
         lo = mid;
         at_best = eval;
@@ -73,8 +80,9 @@ ThrottleResult find_max_core_activity(const ThrottleEnvironment& env,
   }
 
   // Identify the binding constraint just above the boundary.
-  const Evaluation above =
-      evaluate_activity(env, constraints, std::min(1.0, result.max_activity + 2 * activity_tolerance));
+  const Evaluation above = evaluate_activity(
+      thermal_context, env, constraints,
+      std::min(1.0, result.max_activity + 2 * activity_tolerance));
   result.thermally_limited = above.peak_c > constraints.max_junction_c;
   result.voltage_limited = above.min_rail_v < constraints.min_rail_voltage_v;
 

@@ -1,6 +1,7 @@
 #include "numerics/linear_solvers.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -30,7 +31,17 @@ void identity_apply(std::span<const double> r, std::span<double> z) {
   std::copy(r.begin(), r.end(), z.begin());
 }
 
+double seconds_since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
 }  // namespace
+
+void KrylovWorkspace::resize(std::size_t n) {
+  for (std::vector<double>* vec : {&r, &r0, &p, &v, &s, &t, &phat, &shat}) {
+    vec->resize(n);
+  }
+}
 
 JacobiPreconditioner::JacobiPreconditioner(const CsrMatrix& a) {
   inverse_diagonal_ = a.diagonal();
@@ -52,7 +63,6 @@ Ilu0Preconditioner::Ilu0Preconditioner(const CsrMatrix& a) {
   n_ = a.rows();
   row_offsets_ = a.row_offsets();
   column_indices_ = a.column_indices();
-  values_ = a.values();
   diagonal_position_.assign(static_cast<std::size_t>(n_), -1);
 
   for (int r = 0; r < n_; ++r) {
@@ -67,10 +77,25 @@ Ilu0Preconditioner::Ilu0Preconditioner(const CsrMatrix& a) {
                                std::to_string(r));
     }
   }
+  factorize(a);
+}
+
+void Ilu0Preconditioner::refactor(const CsrMatrix& a) {
+  if (a.rows() != n_ || a.cols() != n_ || a.non_zeros() != column_indices_.size() ||
+      a.row_offsets() != row_offsets_ || a.column_indices() != column_indices_) {
+    throw std::invalid_argument(
+        "Ilu0Preconditioner::refactor: matrix pattern differs from the factored one");
+  }
+  factorize(a);
+}
+
+void Ilu0Preconditioner::factorize(const CsrMatrix& a) {
+  values_ = a.values();
 
   // IKJ-variant ILU(0): for each row i, eliminate against previous rows k
   // that appear in i's sparsity pattern.
-  std::vector<int> position_of_column(static_cast<std::size_t>(n_), -1);
+  position_scratch_.assign(static_cast<std::size_t>(n_), -1);
+  std::vector<int>& position_of_column = position_scratch_;
   for (int i = 0; i < n_; ++i) {
     const int row_begin = row_offsets_[static_cast<std::size_t>(i)];
     const int row_end = row_offsets_[static_cast<std::size_t>(i) + 1];
@@ -132,13 +157,20 @@ void Ilu0Preconditioner::apply(std::span<const double> r, std::span<double> z) c
   }
 }
 
-SolverReport solve_cg(const CsrMatrix& a, std::span<const double> b, std::span<double> x,
-                      const Preconditioner* preconditioner, const SolverOptions& options) {
+namespace {
+
+SolverReport run_cg(const CsrMatrix& a, std::span<const double> b, std::span<double> x,
+                    const Preconditioner* preconditioner, const SolverOptions& options,
+                    KrylovWorkspace& ws) {
   ensure(a.rows() == a.cols(), "solve_cg requires a square matrix");
   const auto n = static_cast<std::size_t>(a.rows());
   ensure(b.size() == n && x.size() == n, "solve_cg size mismatch");
 
-  std::vector<double> r(n), z(n), p(n), ap(n);
+  ws.resize(n);
+  std::vector<double>& r = ws.r;
+  std::vector<double>& z = ws.phat;  // CG's preconditioned residual
+  std::vector<double>& p = ws.p;
+  std::vector<double>& ap = ws.v;  // CG's A*p
   a.multiply(x, r);
   for (std::size_t i = 0; i < n; ++i) {
     r[i] = b[i] - r[i];
@@ -191,13 +223,22 @@ SolverReport solve_cg(const CsrMatrix& a, std::span<const double> b, std::span<d
   return report;
 }
 
-SolverReport solve_bicgstab(const CsrMatrix& a, std::span<const double> b, std::span<double> x,
-                            const Preconditioner* preconditioner, const SolverOptions& options) {
+SolverReport run_bicgstab(const CsrMatrix& a, std::span<const double> b, std::span<double> x,
+                          const Preconditioner* preconditioner, const SolverOptions& options,
+                          KrylovWorkspace& ws) {
   ensure(a.rows() == a.cols(), "solve_bicgstab requires a square matrix");
   const auto n = static_cast<std::size_t>(a.rows());
   ensure(b.size() == n && x.size() == n, "solve_bicgstab size mismatch");
 
-  std::vector<double> r(n), r0(n), p(n, 0.0), v(n, 0.0), s(n), t(n), phat(n), shat(n);
+  ws.resize(n);
+  std::vector<double>& r = ws.r;
+  std::vector<double>& r0 = ws.r0;
+  std::vector<double>& p = ws.p;
+  std::vector<double>& v = ws.v;
+  std::vector<double>& s = ws.s;
+  std::vector<double>& t = ws.t;
+  std::vector<double>& phat = ws.phat;
+  std::vector<double>& shat = ws.shat;
   a.multiply(x, r);
   for (std::size_t i = 0; i < n; ++i) {
     r[i] = b[i] - r[i];
@@ -276,6 +317,30 @@ SolverReport solve_bicgstab(const CsrMatrix& a, std::span<const double> b, std::
       break;
     }
   }
+  return report;
+}
+
+}  // namespace
+
+SolverReport solve_cg(const CsrMatrix& a, std::span<const double> b, std::span<double> x,
+                      const Preconditioner* preconditioner, const SolverOptions& options,
+                      KrylovWorkspace* workspace) {
+  const auto start = std::chrono::steady_clock::now();
+  KrylovWorkspace local;
+  SolverReport report =
+      run_cg(a, b, x, preconditioner, options, workspace != nullptr ? *workspace : local);
+  report.solve_time_s = seconds_since(start);
+  return report;
+}
+
+SolverReport solve_bicgstab(const CsrMatrix& a, std::span<const double> b, std::span<double> x,
+                            const Preconditioner* preconditioner, const SolverOptions& options,
+                            KrylovWorkspace* workspace) {
+  const auto start = std::chrono::steady_clock::now();
+  KrylovWorkspace local;
+  SolverReport report =
+      run_bicgstab(a, b, x, preconditioner, options, workspace != nullptr ? *workspace : local);
+  report.solve_time_s = seconds_since(start);
   return report;
 }
 

@@ -22,6 +22,8 @@ struct SolverOptions {
   double relative_tolerance = 1e-10;  ///< stop when ||r|| <= rel_tol * ||b||
   double absolute_tolerance = 1e-14;  ///< ... or ||r|| <= abs_tol
   int max_iterations = 5000;
+
+  friend bool operator==(const SolverOptions&, const SolverOptions&) = default;
 };
 
 /// Outcome of a linear solve. `converged` is false on breakdown or when the
@@ -30,6 +32,16 @@ struct SolverReport {
   bool converged = false;
   int iterations = 0;
   double residual_norm = 0.0;
+  double solve_time_s = 0.0;  ///< wall time spent inside the solver
+};
+
+/// Reusable scratch vectors for the Krylov solvers, so repeated solves on a
+/// fixed-size system stop allocating their temporaries per call. One
+/// workspace serves both solvers (CG maps z -> phat and Ap -> v); the
+/// vectors are resized lazily, which is a no-op when the dimension repeats.
+struct KrylovWorkspace {
+  std::vector<double> r, r0, p, v, s, t, phat, shat;
+  void resize(std::size_t n);
 };
 
 /// Interface for left preconditioners: z = M^{-1} r.
@@ -57,25 +69,38 @@ class Ilu0Preconditioner final : public Preconditioner {
   explicit Ilu0Preconditioner(const CsrMatrix& a);
   void apply(std::span<const double> r, std::span<double> z) const override;
 
+  /// Redoes the numeric factorization for new coefficients of `a`, which
+  /// must have the same sparsity pattern as the matrix this preconditioner
+  /// was built from (checked). Reuses all allocations — the per-solve path
+  /// of a solve context. Throws std::runtime_error on a zero pivot and
+  /// std::invalid_argument on a pattern mismatch.
+  void refactor(const CsrMatrix& a);
+
  private:
+  void factorize(const CsrMatrix& a);
+
   int n_ = 0;
   std::vector<int> row_offsets_;
   std::vector<int> column_indices_;
   std::vector<double> values_;          // merged L (unit diagonal implied) and U
   std::vector<int> diagonal_position_;  // index of the diagonal entry per row
+  std::vector<int> position_scratch_;   // column -> slot map reused per row
 };
 
 /// Conjugate gradient for SPD systems. `x` carries the initial guess in and
-/// the solution out.
+/// the solution out. `workspace` (optional) supplies the scratch vectors;
+/// when null a local workspace is allocated for the call.
 SolverReport solve_cg(const CsrMatrix& a, std::span<const double> b, std::span<double> x,
                       const Preconditioner* preconditioner = nullptr,
-                      const SolverOptions& options = {});
+                      const SolverOptions& options = {},
+                      KrylovWorkspace* workspace = nullptr);
 
 /// BiCGSTAB for general square systems. `x` carries the initial guess in and
-/// the solution out.
+/// the solution out. `workspace` as in solve_cg.
 SolverReport solve_bicgstab(const CsrMatrix& a, std::span<const double> b, std::span<double> x,
                             const Preconditioner* preconditioner = nullptr,
-                            const SolverOptions& options = {});
+                            const SolverOptions& options = {},
+                            KrylovWorkspace* workspace = nullptr);
 
 }  // namespace brightsi::numerics
 

@@ -72,6 +72,49 @@ CsrMatrix CsrMatrix::from_triplets(int rows, int cols, const TripletList& triple
   return m;
 }
 
+void CsrMatrix::refill_from_triplets(const TripletList& triplets,
+                                     std::vector<int>* slot_cache) {
+  const std::vector<Triplet>& entries = triplets.entries();
+  std::fill(values_.begin(), values_.end(), 0.0);
+
+  if (slot_cache != nullptr && !slot_cache->empty()) {
+    ensure(slot_cache->size() == entries.size(),
+           "CsrMatrix::refill_from_triplets: slot cache does not match the triplet sequence");
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      ensure_finite(entries[i].value, "CsrMatrix triplet value");
+      values_[static_cast<std::size_t>((*slot_cache)[i])] += entries[i].value;
+    }
+    return;
+  }
+
+  if (slot_cache != nullptr) {
+    slot_cache->reserve(entries.size());
+  }
+  for (const Triplet& t : entries) {
+    if (t.row < 0 || t.row >= rows_ || t.col < 0 || t.col >= cols_) {
+      throw std::invalid_argument("CsrMatrix triplet index (" + std::to_string(t.row) + "," +
+                                  std::to_string(t.col) + ") outside " + std::to_string(rows_) +
+                                  "x" + std::to_string(cols_));
+    }
+    ensure_finite(t.value, "CsrMatrix triplet value");
+    const int begin = row_offsets_[static_cast<std::size_t>(t.row)];
+    const int end = row_offsets_[static_cast<std::size_t>(t.row) + 1];
+    const auto first = column_indices_.begin() + begin;
+    const auto last = column_indices_.begin() + end;
+    const auto it = std::lower_bound(first, last, t.col);
+    if (it == last || *it != t.col) {
+      throw std::invalid_argument("CsrMatrix::refill_from_triplets: (" + std::to_string(t.row) +
+                                  "," + std::to_string(t.col) +
+                                  ") is not in the sparsity pattern");
+    }
+    const int slot = static_cast<int>(it - column_indices_.begin());
+    values_[static_cast<std::size_t>(slot)] += t.value;
+    if (slot_cache != nullptr) {
+      slot_cache->push_back(slot);
+    }
+  }
+}
+
 void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
   ensure(static_cast<int>(x.size()) == cols_, "CsrMatrix::multiply: x size mismatch");
   ensure(static_cast<int>(y.size()) == rows_, "CsrMatrix::multiply: y size mismatch");

@@ -3,8 +3,11 @@
 // This is the workhorse container for the thermal RC network, the PDN nodal
 // matrix and the reference discretizations in tests. Assembly happens via
 // `TripletList` (duplicate entries are summed, as is conventional for
-// finite-volume/nodal stamping), after which the immutable CSR form supports
-// matvec, row traversal and diagonal extraction.
+// finite-volume/nodal stamping), after which the CSR form supports matvec,
+// row traversal and diagonal extraction. When the sparsity pattern is fixed
+// across solves (the assemble-once discipline of the solve contexts),
+// `refill_from_triplets` updates the coefficients in place without
+// re-sorting or reallocating.
 #ifndef BRIGHTSI_NUMERICS_SPARSE_MATRIX_H
 #define BRIGHTSI_NUMERICS_SPARSE_MATRIX_H
 
@@ -31,6 +34,10 @@ class TripletList {
   /// Adds `value` at (row, col). Negative indices are rejected at build time.
   void add(int row, int col, double value) { entries_.push_back({row, col, value}); }
 
+  /// Drops every entry but keeps the allocation, so a stamping buffer can be
+  /// reused across solves.
+  void clear() { entries_.clear(); }
+
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
   [[nodiscard]] const std::vector<Triplet>& entries() const { return entries_; }
@@ -39,7 +46,8 @@ class TripletList {
   std::vector<Triplet> entries_;
 };
 
-/// Immutable square-or-rectangular sparse matrix in CSR format.
+/// Square-or-rectangular sparse matrix in CSR format. The pattern is fixed
+/// at build time; coefficients may be refreshed in place.
 class CsrMatrix {
  public:
   CsrMatrix() = default;
@@ -48,6 +56,19 @@ class CsrMatrix {
   /// entries are summed. Throws std::invalid_argument on out-of-range
   /// indices or non-finite values.
   static CsrMatrix from_triplets(int rows, int cols, const TripletList& triplets);
+
+  /// Reuse path for a fixed sparsity pattern: zeroes the stored values and
+  /// scatters `triplets` into them (duplicates summed), without touching the
+  /// structure. Throws std::invalid_argument when a triplet's (row, col) is
+  /// not part of the pattern or its value is non-finite.
+  ///
+  /// `slot_cache` (optional) skips the per-entry position search on repeat
+  /// fills: an empty cache is populated with the destination slot of each
+  /// triplet; a populated one is trusted to come from an earlier call with
+  /// the *identical* (row, col) sequence — only the length is re-checked —
+  /// which holds for deterministic stampers like ThermalModel::fill_operator.
+  void refill_from_triplets(const TripletList& triplets,
+                            std::vector<int>* slot_cache = nullptr);
 
   [[nodiscard]] int rows() const { return rows_; }
   [[nodiscard]] int cols() const { return cols_; }

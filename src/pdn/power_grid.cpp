@@ -137,7 +137,9 @@ PowerGridSolution PowerGrid::solve_with_loads(const std::vector<VrmTap>& taps,
       static_cast<int>(node_count), static_cast<int>(node_count), triplets);
 
   std::vector<double> voltages(node_count, spec_.nominal_voltage_v);
-  const numerics::JacobiPreconditioner precond(matrix);
+  // ILU(0) converges the mesh in ~10x fewer iterations than Jacobi and its
+  // factorization is a single O(nnz) pass over the 5-point pattern.
+  const numerics::Ilu0Preconditioner precond(matrix);
   numerics::SolverOptions options;
   options.relative_tolerance = 1e-12;
   options.max_iterations = 20000;

@@ -19,8 +19,10 @@ SweepEvaluator cosim_evaluator() {
       "dp_bar",         "pump_w",           "net_w",         "iso_current_a",
       "coupled_current_a", "thermal_gain_pct", "rail_min_v", "rail_worst_drop_v",
   };
-  evaluator.fn = [](const core::SystemConfig& config, const ScenarioSpec&) {
-    const core::IntegratedMpsocSystem system(config);
+  evaluator.fn = [](const core::SystemConfig& config, const ScenarioSpec& scenario,
+                    WorkerState& worker) {
+    const core::IntegratedMpsocSystem system(
+        config, worker.thermal_models.model_for(config, scenario));
     const core::CoSimReport report = system.run();
     return std::vector<double>{
         static_cast<double>(report.iterations),
@@ -48,7 +50,7 @@ SweepEvaluator array_power_evaluator() {
   SweepEvaluator evaluator;
   evaluator.name = "array";
   evaluator.metrics = {"current_1v_a", "power_density_w_cm2", "dp_bar", "pump_w", "net_w"};
-  evaluator.fn = [](const core::SystemConfig& config, const ScenarioSpec&) {
+  evaluator.fn = [](const core::SystemConfig& config, const ScenarioSpec&, WorkerState&) {
     const flowcell::FlowCellArray array(config.array_spec, config.chemistry, config.fvm);
     const flowcell::ArraySpec& spec = config.array_spec;
     const double area_cm2 =
@@ -73,7 +75,8 @@ SweepEvaluator rail_integrity_evaluator() {
   evaluator.name = "rail";
   evaluator.metrics = {"tap_count",    "rail_min_v",   "rail_max_v",      "rail_mean_v",
                        "worst_drop_v", "ohmic_loss_w", "supply_current_a"};
-  evaluator.fn = [](const core::SystemConfig& config, const ScenarioSpec& scenario) {
+  evaluator.fn = [](const core::SystemConfig& config, const ScenarioSpec& scenario,
+                    WorkerState&) {
     const chip::Floorplan floorplan = chip::make_power7_floorplan(config.power_spec);
     const pdn::PowerGrid grid(config.grid_spec, floorplan);
     std::vector<pdn::VrmTap> taps;

@@ -11,18 +11,22 @@
 #include <vector>
 
 #include "core/system_config.h"
+#include "sweep/system_cache.h"
 
 namespace brightsi::sweep {
 
-struct ScenarioSpec;
-
 /// A metric extractor: `fn` returns one value per entry of `metrics`, in
-/// order. It receives both the resolved SystemConfig and the raw scenario
-/// (for evaluator-consumed parameters like edge_taps_per_side).
+/// order. It receives the resolved SystemConfig, the raw scenario (for
+/// evaluator-consumed parameters like edge_taps_per_side) and the calling
+/// worker's mutable state — the structure cache that lets consecutive
+/// scenarios differing only in operating-point parameters reuse the
+/// assembled thermal model.
 struct SweepEvaluator {
   std::string name;
   std::vector<std::string> metrics;
-  std::function<std::vector<double>(const core::SystemConfig&, const ScenarioSpec&)> fn;
+  std::function<std::vector<double>(const core::SystemConfig&, const ScenarioSpec&,
+                                    WorkerState&)>
+      fn;
 };
 
 /// Full fixed-point co-simulation (IntegratedMpsocSystem::run). Metrics:

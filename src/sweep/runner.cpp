@@ -121,6 +121,7 @@ SweepResult SweepRunner::run(const SweepPlan& plan) const {
   const auto sweep_start = std::chrono::steady_clock::now();
   std::atomic<std::size_t> next{0};
   auto worker = [&]() {
+    WorkerState state(options_.reuse_structures);
     while (true) {
       const std::size_t i = next.fetch_add(1);
       if (i >= plan.scenarios.size()) {
@@ -134,7 +135,7 @@ SweepResult SweepRunner::run(const SweepPlan& plan) const {
       try {
         const core::SystemConfig config = apply_scenario(plan.base, scenario);
         config.validate();
-        row.metrics = plan.evaluator.fn(config, scenario);
+        row.metrics = plan.evaluator.fn(config, scenario, state);
         if (row.metrics.size() != plan.evaluator.metrics.size()) {
           throw std::logic_error("evaluator '" + plan.evaluator.name +
                                  "' returned a mismatched metric count");

@@ -4,6 +4,12 @@
 // in plan order regardless of completion order. Per-scenario wall time is
 // recorded separately from the result rows so CSV output stays
 // byte-identical across thread counts.
+//
+// Each worker carries a WorkerState (sweep/system_cache.h) across its
+// scenarios: consecutive scenarios that differ only in operating-point
+// parameters reuse the assembled thermal model. Reuse never changes result
+// bytes — sweep_test cross-checks cached vs uncached rows at 1 and N
+// threads.
 #ifndef BRIGHTSI_SWEEP_RUNNER_H
 #define BRIGHTSI_SWEEP_RUNNER_H
 
@@ -40,6 +46,10 @@ struct SweepResult {
 struct SweepOptions {
   /// Worker threads; 0 = hardware concurrency.
   int thread_count = 0;
+  /// Per-worker reuse of assembled model structure across scenarios.
+  /// Result rows are byte-identical either way; disable to cross-check
+  /// that invariant or to bound per-worker memory.
+  bool reuse_structures = true;
 };
 
 class SweepRunner {

@@ -56,7 +56,8 @@ const std::vector<ParameterInfo>& parameter_registry() {
       {"axial_cells", "thermal-grid cells along the flow direction",
        [](core::SystemConfig& c, double v) {
          c.thermal_grid.axial_cells = static_cast<int>(v);
-       }},
+       },
+       /*thermal_structural=*/true},
       {"pump_efficiency", "hydraulic pump efficiency (0, 1]",
        [](core::SystemConfig& c, double v) { c.pump_efficiency = v; }},
       {"power_scale", "multiplier on every floorplan power density (workload knob)",

@@ -1,0 +1,57 @@
+// Per-worker reuse of expensively-assembled model structure across the
+// scenarios of a sweep. Scenarios that differ only in operating-point
+// parameters (flow, inlet temperature, power density, VRM electrical
+// settings) share one assembled ThermalModel — grid build plus operator
+// sparsity pattern — keyed by the scenario's thermal-structural overrides
+// (ParameterInfo::thermal_structural).
+//
+// Result rows are byte-identical with and without reuse (sweep_test proves
+// it): a shared model is bitwise the model the scenario would have built
+// itself, and IntegratedMpsocSystem::run() carries no state across runs.
+#ifndef BRIGHTSI_SWEEP_SYSTEM_CACHE_H
+#define BRIGHTSI_SWEEP_SYSTEM_CACHE_H
+
+#include <memory>
+#include <string>
+
+#include "core/system_config.h"
+#include "sweep/scenario.h"
+
+namespace brightsi::sweep {
+
+/// Caches the most recently built thermal model. Single-threaded — one
+/// instance per worker thread — and intentionally depth-1: plans emit
+/// scenarios with equal structure adjacently (grids vary the last axis
+/// fastest), so one slot already captures nearly all reuse.
+class ThermalModelCache {
+ public:
+  explicit ThermalModelCache(bool enabled = true) : enabled_(enabled) {}
+
+  /// The assembled thermal model for `config`: the cached one when the
+  /// scenario's thermal-structural fingerprint matches the previous call's,
+  /// otherwise a fresh build (which replaces the cache slot). With caching
+  /// disabled every call builds fresh.
+  [[nodiscard]] std::shared_ptr<const thermal::ThermalModel> model_for(
+      const core::SystemConfig& config, const ScenarioSpec& scenario);
+
+  /// Models built so far — lets tests assert reuse actually happened.
+  [[nodiscard]] int build_count() const { return build_count_; }
+
+ private:
+  bool enabled_;
+  std::string fingerprint_;
+  std::shared_ptr<const thermal::ThermalModel> model_;
+  int build_count_ = 0;
+};
+
+/// Mutable per-worker state handed to every evaluator invocation of one
+/// sweep run. Owned by the runner; never shared between threads.
+struct WorkerState {
+  explicit WorkerState(bool reuse_structures = true) : thermal_models(reuse_structures) {}
+
+  ThermalModelCache thermal_models;
+};
+
+}  // namespace brightsi::sweep
+
+#endif  // BRIGHTSI_SWEEP_SYSTEM_CACHE_H

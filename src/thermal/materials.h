@@ -8,6 +8,8 @@ namespace brightsi::thermal {
 struct Material {
   double thermal_conductivity_w_per_m_k = 0.0;
   double volumetric_heat_capacity_j_per_m3_k = 0.0;
+
+  friend bool operator==(const Material&, const Material&) = default;
 };
 
 /// Bulk silicon near operating temperature (~320-340 K); the 3D-ICE

@@ -7,6 +7,7 @@
 #include "chip/power_map.h"
 #include "hydraulics/duct.h"
 #include "numerics/contracts.h"
+#include "thermal/solve_context.h"
 
 namespace brightsi::thermal {
 
@@ -31,6 +32,24 @@ ThermalModel::ThermalModel(StackSpec stack, double die_width_m, double die_heigh
   ensure(settings_.solid_stack_x_cells >= 2, "need at least 2 x cells");
   stack_.validate();
   build_grid();
+  build_operator_pattern();
+}
+
+void ThermalModel::build_operator_pattern() {
+  // Any valid operating point stamps the same (row, col) positions — only
+  // the coefficient values differ — so a synthetic operating point and an
+  // empty floorplan suffice. capacity_over_dt = 1 includes the
+  // backward-Euler mass diagonal, making the pattern shared between steady
+  // and transient solves.
+  OperatingPoint op;
+  op.total_flow_m3_per_s = 1e-6;
+  const chip::Floorplan empty(die_width_m_, die_height_m_);
+  const numerics::Grid3<double> previous(nx_, ny_, nz_, 0.0);
+  numerics::TripletList triplets;
+  std::vector<double> rhs;
+  fill_operator(empty, op, 1.0, &previous, &triplets, &rhs);
+  const auto n = static_cast<int>(rhs.size());
+  pattern_ = numerics::CsrMatrix::from_triplets(n, n, triplets);
 }
 
 void ThermalModel::build_grid() {
@@ -120,13 +139,13 @@ double ThermalModel::film_coefficient(const OperatingPoint& op) const {
   return nusselt * op.coolant.thermal_conductivity_w_per_m_k / duct.hydraulic_diameter();
 }
 
-void ThermalModel::assemble(const chip::Floorplan& floorplan, const OperatingPoint& op,
-                            double capacity_over_dt, const numerics::Grid3<double>* previous,
-                            numerics::CsrMatrix* matrix, std::vector<double>* rhs) const {
+void ThermalModel::fill_operator(const chip::Floorplan& floorplan, const OperatingPoint& op,
+                                 double capacity_over_dt, const numerics::Grid3<double>* previous,
+                                 numerics::TripletList* triplets, std::vector<double>* rhs) const {
   const auto cell_count =
       static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_) * static_cast<std::size_t>(nz_);
   rhs->assign(cell_count, 0.0);
-  numerics::TripletList triplets(cell_count * 7);
+  triplets->clear();
 
   const double h_film = stack_.has_channels() ? film_coefficient(op) : 0.0;
   const double per_channel_flow =
@@ -141,10 +160,10 @@ void ThermalModel::assemble(const chip::Floorplan& floorplan, const OperatingPoi
       floorplan, x_edges_, y_edges);
 
   auto stamp_pair = [&](std::size_t a, std::size_t b, double conductance) {
-    triplets.add(static_cast<int>(a), static_cast<int>(a), conductance);
-    triplets.add(static_cast<int>(b), static_cast<int>(b), conductance);
-    triplets.add(static_cast<int>(a), static_cast<int>(b), -conductance);
-    triplets.add(static_cast<int>(b), static_cast<int>(a), -conductance);
+    triplets->add(static_cast<int>(a), static_cast<int>(a), conductance);
+    triplets->add(static_cast<int>(b), static_cast<int>(b), conductance);
+    triplets->add(static_cast<int>(a), static_cast<int>(b), -conductance);
+    triplets->add(static_cast<int>(b), static_cast<int>(a), -conductance);
   };
 
   // Conduction/convection between neighboring cells. A solid-solid face
@@ -204,11 +223,11 @@ void ThermalModel::assemble(const chip::Floorplan& floorplan, const OperatingPoi
           const double flow_fraction = slice.dz / stack_.channel_layer->layer_height_m;
           const double c_adv = op.coolant.volumetric_heat_capacity_j_per_m3_k *
                                per_channel_flow * flow_fraction;
-          triplets.add(static_cast<int>(me), static_cast<int>(me), c_adv);
+          triplets->add(static_cast<int>(me), static_cast<int>(me), c_adv);
           if (iy == 0) {
             (*rhs)[me] += c_adv * op.inlet_temperature_k;
           } else {
-            triplets.add(static_cast<int>(me), static_cast<int>(index(ix, iy - 1, iz)), -c_adv);
+            triplets->add(static_cast<int>(me), static_cast<int>(index(ix, iy - 1, iz)), -c_adv);
           }
         }
 
@@ -219,7 +238,7 @@ void ThermalModel::assemble(const chip::Floorplan& floorplan, const OperatingPoi
               slice.dz / 2.0 / slice.material.thermal_conductivity_w_per_m_k +
               1.0 / stack_.top_heat_transfer_w_per_m2_k;
           const double g = area / resistance;
-          triplets.add(static_cast<int>(me), static_cast<int>(me), g);
+          triplets->add(static_cast<int>(me), static_cast<int>(me), g);
           (*rhs)[me] += g * stack_.ambient_temperature_k;
         }
 
@@ -234,61 +253,26 @@ void ThermalModel::assemble(const chip::Floorplan& floorplan, const OperatingPoi
               fluid ? op.coolant.volumetric_heat_capacity_j_per_m3_k
                     : slice.material.volumetric_heat_capacity_j_per_m3_k;
           const double c_dt = cap * dxc * dy_ * slice.dz * capacity_over_dt;
-          triplets.add(static_cast<int>(me), static_cast<int>(me), c_dt);
+          triplets->add(static_cast<int>(me), static_cast<int>(me), c_dt);
           (*rhs)[me] += c_dt * (*previous)(ix, iy, iz);
         }
       }
     }
   }
 
-  *matrix = numerics::CsrMatrix::from_triplets(static_cast<int>(cell_count),
-                                               static_cast<int>(cell_count), triplets);
 }
 
 ThermalSolution ThermalModel::solve_steady(const chip::Floorplan& floorplan,
                                            const OperatingPoint& op) const {
-  op.validate(stack_.has_channels());
-  ensure(!stack_.has_channels() || stack_.top_heat_transfer_w_per_m2_k > 0.0 ||
-             op.total_flow_m3_per_s > 0.0,
-         "steady solve needs a heat sink (coolant flow or top film)");
-  ensure(stack_.has_channels() || stack_.top_heat_transfer_w_per_m2_k > 0.0,
-         "solid stack needs a top film coefficient for a steady solution");
-
-  numerics::CsrMatrix matrix;
-  std::vector<double> rhs;
-  assemble(floorplan, op, 0.0, nullptr, &matrix, &rhs);
-
-  std::vector<double> temperatures(rhs.size(), op.inlet_temperature_k);
-  const numerics::Ilu0Preconditioner precond(matrix);
-  const numerics::SolverReport report =
-      numerics::solve_bicgstab(matrix, rhs, temperatures, &precond, settings_.solver);
-  if (!report.converged) {
-    throw std::runtime_error("ThermalModel::solve_steady: BiCGSTAB did not converge (residual " +
-                             std::to_string(report.residual_norm) + ")");
-  }
-  return package_solution(std::move(temperatures), floorplan, op, report);
+  ThermalSolveContext context(*this);
+  return context.solve_steady(floorplan, op);
 }
 
 ThermalSolution ThermalModel::step_transient(const numerics::Grid3<double>& state,
                                              const chip::Floorplan& floorplan,
                                              const OperatingPoint& op, double dt_s) const {
-  op.validate(stack_.has_channels());
-  ensure_positive(dt_s, "transient step");
-  ensure(state.nx() == nx_ && state.ny() == ny_ && state.nz() == nz_,
-         "transient state has the wrong shape");
-
-  numerics::CsrMatrix matrix;
-  std::vector<double> rhs;
-  assemble(floorplan, op, 1.0 / dt_s, &state, &matrix, &rhs);
-
-  std::vector<double> temperatures(state.data());
-  const numerics::Ilu0Preconditioner precond(matrix);
-  const numerics::SolverReport report =
-      numerics::solve_bicgstab(matrix, rhs, temperatures, &precond, settings_.solver);
-  if (!report.converged) {
-    throw std::runtime_error("ThermalModel::step_transient: BiCGSTAB did not converge");
-  }
-  return package_solution(std::move(temperatures), floorplan, op, report);
+  ThermalSolveContext context(*this);
+  return context.step_transient(state, floorplan, op, dt_s);
 }
 
 numerics::Grid3<double> ThermalModel::uniform_state(double temperature_k) const {

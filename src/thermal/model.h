@@ -10,6 +10,15 @@
 // first-order upwinding; the inlet enters at a fixed temperature and the
 // outlet is free. Steady solves use ILU(0)-preconditioned BiCGSTAB;
 // transients use backward Euler on the same operator.
+//
+// The sparsity pattern of the assembled operator depends only on the grid,
+// never on the operating point, so it is built once at construction
+// (`operator_pattern`) and per-solve work reduces to an in-place coefficient
+// fill. `solve_steady`/`step_transient` remain the simple one-shot entry
+// points; repeated solves should go through a ThermalSolveContext
+// (thermal/solve_context.h), which reuses the matrix, the ILU(0)
+// factorization, the Krylov workspace and the previous temperature field
+// across calls.
 #ifndef BRIGHTSI_THERMAL_MODEL_H
 #define BRIGHTSI_THERMAL_MODEL_H
 
@@ -66,23 +75,30 @@ struct ThermalGridSettings {
   int axial_cells = 32;          ///< y-cells along the flow direction
   int solid_stack_x_cells = 64;  ///< x-columns when the stack has no channels
   numerics::SolverOptions solver;
+
+  friend bool operator==(const ThermalGridSettings&, const ThermalGridSettings&) = default;
 };
+
+class ThermalSolveContext;
 
 class ThermalModel {
  public:
   using GridSettings = ThermalGridSettings;
 
-  /// Builds the static grid for `stack` over a die of the given outline.
+  /// Builds the static grid for `stack` over a die of the given outline,
+  /// including the operator sparsity pattern (assemble-once).
   ThermalModel(StackSpec stack, double die_width_m, double die_height_m,
                GridSettings settings = GridSettings());
 
-  /// Steady solve under the floorplan's current power densities.
+  /// Steady solve under the floorplan's current power densities. One-shot
+  /// convenience wrapper over a fresh ThermalSolveContext (cold start).
   [[nodiscard]] ThermalSolution solve_steady(const chip::Floorplan& floorplan,
                                              const OperatingPoint& operating_point) const;
 
   /// One backward-Euler step of length `dt_s` from `state` (a full
   /// temperature field, e.g. the previous solution). Returns the new state
-  /// with the same diagnostics as a steady solve.
+  /// with the same diagnostics as a steady solve. One-shot wrapper over a
+  /// fresh ThermalSolveContext; step loops should hold their own context.
   [[nodiscard]] ThermalSolution step_transient(const numerics::Grid3<double>& state,
                                                const chip::Floorplan& floorplan,
                                                const OperatingPoint& operating_point,
@@ -96,9 +112,20 @@ class ThermalModel {
   [[nodiscard]] int nz() const { return nz_; }
   [[nodiscard]] int channel_count() const;
   [[nodiscard]] const StackSpec& stack() const { return stack_; }
+  [[nodiscard]] const GridSettings& settings() const { return settings_; }
+  [[nodiscard]] double die_width_m() const { return die_width_m_; }
+  [[nodiscard]] double die_height_m() const { return die_height_m_; }
   [[nodiscard]] const std::vector<double>& x_edges() const { return x_edges_; }
 
+  /// The structural sparsity pattern of the assembled operator (values are
+  /// meaningless). Identical for every operating point, steady or
+  /// transient; solve contexts copy it once and refill coefficients in
+  /// place per solve.
+  [[nodiscard]] const numerics::CsrMatrix& operator_pattern() const { return pattern_; }
+
  private:
+  friend class ThermalSolveContext;
+
   struct ZSlice {
     double dz = 0.0;
     Material material;        // solid material (walls for the channel layer)
@@ -112,6 +139,7 @@ class ThermalModel {
   GridSettings settings_;
 
   int nx_ = 0, ny_ = 0, nz_ = 0;
+  numerics::CsrMatrix pattern_;        // structural operator pattern
   std::vector<double> x_edges_;        // nx+1
   std::vector<double> dx_;             // per column
   double dy_ = 0.0;
@@ -130,12 +158,17 @@ class ThermalModel {
            column_channel_[static_cast<std::size_t>(ix)] >= 0;
   }
 
-  /// Assembles the steady operator and RHS; `capacity_over_dt` adds the
+  /// Stamps the operator coefficients and RHS for one solve into reusable
+  /// buffers (`triplets` is cleared first); `capacity_over_dt` adds the
   /// backward-Euler mass term when positive (with `previous` as the old
-  /// state).
-  void assemble(const chip::Floorplan& floorplan, const OperatingPoint& op,
-                double capacity_over_dt, const numerics::Grid3<double>* previous,
-                numerics::CsrMatrix* matrix, std::vector<double>* rhs) const;
+  /// state). The (row, col) stamp sequence is deterministic and identical
+  /// for every operating point at a fixed mode (steady vs transient), which
+  /// is what makes the solve contexts' scatter-plan caching valid.
+  void fill_operator(const chip::Floorplan& floorplan, const OperatingPoint& op,
+                     double capacity_over_dt, const numerics::Grid3<double>* previous,
+                     numerics::TripletList* triplets, std::vector<double>* rhs) const;
+
+  void build_operator_pattern();
 
   [[nodiscard]] ThermalSolution package_solution(std::vector<double> temperatures,
                                                  const chip::Floorplan& floorplan,

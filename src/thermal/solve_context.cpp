@@ -1,0 +1,83 @@
+#include "thermal/solve_context.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include "numerics/contracts.h"
+
+namespace brightsi::thermal {
+
+namespace {
+
+double seconds_since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+ThermalSolveContext::ThermalSolveContext(const ThermalModel& model)
+    : model_(&model), matrix_(model.operator_pattern()) {}
+
+void ThermalSolveContext::reset() { warm_ = false; }
+
+ThermalSolution ThermalSolveContext::solve_steady(const chip::Floorplan& floorplan,
+                                                  const OperatingPoint& op) {
+  const StackSpec& stack = model_->stack();
+  op.validate(stack.has_channels());
+  ensure(!stack.has_channels() || stack.top_heat_transfer_w_per_m2_k > 0.0 ||
+             op.total_flow_m3_per_s > 0.0,
+         "steady solve needs a heat sink (coolant flow or top film)");
+  ensure(stack.has_channels() || stack.top_heat_transfer_w_per_m2_k > 0.0,
+         "solid stack needs a top film coefficient for a steady solution");
+  return solve(floorplan, op, 0.0, nullptr, &steady_scatter_, "ThermalModel::solve_steady");
+}
+
+ThermalSolution ThermalSolveContext::step_transient(const numerics::Grid3<double>& state,
+                                                    const chip::Floorplan& floorplan,
+                                                    const OperatingPoint& op, double dt_s) {
+  op.validate(model_->stack().has_channels());
+  ensure_positive(dt_s, "transient step");
+  ensure(state.nx() == model_->nx() && state.ny() == model_->ny() && state.nz() == model_->nz(),
+         "transient state has the wrong shape");
+  // The step's own previous state is the best initial guess.
+  temperatures_ = state.data();
+  warm_ = true;
+  return solve(floorplan, op, 1.0 / dt_s, &state, &transient_scatter_,
+               "ThermalModel::step_transient");
+}
+
+ThermalSolution ThermalSolveContext::solve(const chip::Floorplan& floorplan,
+                                           const OperatingPoint& op, double capacity_over_dt,
+                                           const numerics::Grid3<double>* previous,
+                                           std::vector<int>* scatter_plan, const char* what) {
+  const auto assembly_start = std::chrono::steady_clock::now();
+  model_->fill_operator(floorplan, op, capacity_over_dt, previous, &triplets_, &rhs_);
+  matrix_.refill_from_triplets(triplets_, scatter_plan);
+  if (preconditioner_ != nullptr) {
+    preconditioner_->refactor(matrix_);
+  } else {
+    preconditioner_ = std::make_unique<numerics::Ilu0Preconditioner>(matrix_);
+  }
+  stats_.assembly_time_s += seconds_since(assembly_start);
+
+  if (!warm_) {
+    temperatures_.assign(rhs_.size(), op.inlet_temperature_k);
+  }
+  const numerics::SolverReport report = numerics::solve_bicgstab(
+      matrix_, rhs_, temperatures_, preconditioner_.get(), model_->settings().solver,
+      &workspace_);
+  stats_.solves += 1;
+  stats_.iterations += report.iterations;
+  stats_.solve_time_s += report.solve_time_s;
+  if (!report.converged) {
+    warm_ = false;  // never warm-start from a diverged iterate
+    throw std::runtime_error(std::string(what) + ": BiCGSTAB did not converge (residual " +
+                             std::to_string(report.residual_norm) + " after " +
+                             std::to_string(report.iterations) + " iterations)");
+  }
+  warm_ = true;
+  return model_->package_solution(temperatures_, floorplan, op, report);
+}
+
+}  // namespace brightsi::thermal

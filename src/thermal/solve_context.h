@@ -1,0 +1,82 @@
+// Stateful solve context for the compact thermal model: separates the
+// one-time symbolic setup (sparsity pattern, scatter plans, ILU(0)
+// structure, Krylov workspace) from the per-solve numeric work (coefficient
+// fill, numeric refactorization, preconditioned BiCGSTAB), and warm-starts
+// each solve from the previous temperature field.
+//
+// Ownership and lifecycle rules (see docs/ARCHITECTURE.md):
+//  * The context borrows the ThermalModel, which must outlive it.
+//  * A context is single-threaded state — one per thread, never shared.
+//  * Results are deterministic: a given call sequence on a fresh (or
+//    reset()) context always produces the same fields. Warm starts change
+//    iterates only within the solver tolerance of the cold-start result.
+//  * `reset()` restores cold-start behavior without dropping allocations;
+//    callers that must be reproducible across repeated runs (e.g.
+//    IntegratedMpsocSystem::run) reset at the start of each run.
+#ifndef BRIGHTSI_THERMAL_SOLVE_CONTEXT_H
+#define BRIGHTSI_THERMAL_SOLVE_CONTEXT_H
+
+#include <memory>
+#include <vector>
+
+#include "thermal/model.h"
+
+namespace brightsi::thermal {
+
+class ThermalSolveContext {
+ public:
+  /// Cumulative work counters across the context's lifetime (reset() does
+  /// not clear them), for perf reporting — bench/cosim_throughput.
+  struct Stats {
+    int solves = 0;
+    long long iterations = 0;      ///< BiCGSTAB iterations, summed
+    double assembly_time_s = 0.0;  ///< coefficient fill + refill + ILU(0) refactor
+    double solve_time_s = 0.0;     ///< time inside the Krylov solver
+  };
+
+  /// Copies the model's operator pattern; no factorization happens until
+  /// the first solve.
+  explicit ThermalSolveContext(const ThermalModel& model);
+
+  /// Steady solve; warm-starts from the previous solve's field when one
+  /// exists. Same contract and diagnostics as ThermalModel::solve_steady.
+  [[nodiscard]] ThermalSolution solve_steady(const chip::Floorplan& floorplan,
+                                             const OperatingPoint& operating_point);
+
+  /// One backward-Euler step from `state`; the step itself is the warm
+  /// start. Same contract as ThermalModel::step_transient.
+  [[nodiscard]] ThermalSolution step_transient(const numerics::Grid3<double>& state,
+                                               const chip::Floorplan& floorplan,
+                                               const OperatingPoint& operating_point,
+                                               double dt_s);
+
+  /// Drops the warm-start field so the next steady solve starts cold (from
+  /// a uniform inlet-temperature guess). Keeps the matrix, preconditioner,
+  /// workspace and scatter plans.
+  void reset();
+
+  [[nodiscard]] const ThermalModel& model() const { return *model_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] ThermalSolution solve(const chip::Floorplan& floorplan,
+                                      const OperatingPoint& op, double capacity_over_dt,
+                                      const numerics::Grid3<double>* previous,
+                                      std::vector<int>* scatter_plan, const char* what);
+
+  const ThermalModel* model_;
+  numerics::CsrMatrix matrix_;         // model pattern, refilled per solve
+  numerics::TripletList triplets_;     // reusable stamping buffer
+  std::vector<double> rhs_;
+  std::vector<int> steady_scatter_;    // triplet -> CSR slot plans per mode
+  std::vector<int> transient_scatter_;
+  std::unique_ptr<numerics::Ilu0Preconditioner> preconditioner_;
+  numerics::KrylovWorkspace workspace_;
+  std::vector<double> temperatures_;   // last iterate = warm-start field
+  bool warm_ = false;
+  Stats stats_;
+};
+
+}  // namespace brightsi::thermal
+
+#endif  // BRIGHTSI_THERMAL_SOLVE_CONTEXT_H

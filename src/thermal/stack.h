@@ -21,6 +21,8 @@ struct SolidLayerSpec {
   Material material;
   bool has_heat_source = false; ///< floorplan power is injected into the
                                 ///< bottom-most z-cell of this layer
+
+  friend bool operator==(const SolidLayerSpec&, const SolidLayerSpec&) = default;
 };
 
 /// The microchannel layer: `channel_count` channels of `channel_width_m`
@@ -38,6 +40,8 @@ struct MicrochannelLayerSpec {
   /// (3.54 at aspect 0.5, cap side adiabatic), matching the 4RM convention
   /// of 3D-ICE for back-side-etched channels.
   double nusselt_override = 0.0;
+
+  friend bool operator==(const MicrochannelLayerSpec&, const MicrochannelLayerSpec&) = default;
 };
 
 /// Whole-stack description.
@@ -52,6 +56,10 @@ struct StackSpec {
 
   void validate() const;
   [[nodiscard]] bool has_channels() const { return channel_layer.has_value(); }
+
+  /// Structural identity — lets solve-context sharers verify a model was
+  /// built from exactly this stack.
+  friend bool operator==(const StackSpec&, const StackSpec&) = default;
 };
 
 /// The paper's POWER7+ package: 10 um active source plane + 450 um bulk

@@ -1,6 +1,7 @@
 #include "thermal/trace_runner.h"
 
 #include "numerics/contracts.h"
+#include "thermal/solve_context.h"
 
 namespace brightsi::thermal {
 
@@ -18,11 +19,14 @@ TraceResult run_thermal_trace(const ThermalModel& model,
   const int steps = static_cast<int>(total / dt_s);
   result.samples.reserve(static_cast<std::size_t>(steps));
 
+  // One solve context across all backward-Euler steps: assemble-once,
+  // per-step coefficient refill + ILU(0) refactor.
+  ThermalSolveContext context(model);
   for (int step = 0; step < steps; ++step) {
     const double t = (step + 0.5) * dt_s;
     const chip::WorkloadPhase& phase = trace.phase_at(t);
     const chip::Floorplan floorplan = chip::apply_phase(power_spec, phase);
-    const ThermalSolution sol = model.step_transient(state, floorplan, operating_point, dt_s);
+    const ThermalSolution sol = context.step_transient(state, floorplan, operating_point, dt_s);
     state = sol.temperature_k;
 
     TraceSample sample;

@@ -285,6 +285,151 @@ TEST(Solvers, Ilu0ThrowsOnStructurallyZeroDiagonal) {
   EXPECT_THROW(nm::Ilu0Preconditioner{a}, std::runtime_error);
 }
 
+// ------------------------------------------------------- solve-state reuse
+TEST(SparseMatrix, RefillMatchesFreshBuildIncludingDuplicates) {
+  nm::TripletList structure;
+  structure.add(0, 0, 1.0);
+  structure.add(0, 1, 1.0);
+  structure.add(1, 1, 1.0);
+  structure.add(1, 0, 1.0);
+  structure.add(2, 2, 1.0);
+  auto a = nm::CsrMatrix::from_triplets(3, 3, structure);
+
+  nm::TripletList refill;
+  refill.add(1, 0, 4.0);
+  refill.add(0, 0, 2.0);
+  refill.add(0, 1, -1.0);
+  refill.add(0, 0, 0.5);  // duplicate stamp, summed on refill
+  refill.add(2, 2, 7.0);
+  a.refill_from_triplets(refill);
+
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 0.0);  // not restamped -> zeroed
+  EXPECT_DOUBLE_EQ(a.at(2, 2), 7.0);
+  EXPECT_EQ(a.non_zeros(), 5u);  // pattern untouched
+}
+
+TEST(SparseMatrix, RefillRejectsEntriesOutsideThePattern) {
+  nm::TripletList structure;
+  structure.add(0, 0, 1.0);
+  structure.add(1, 1, 1.0);
+  auto a = nm::CsrMatrix::from_triplets(2, 2, structure);
+
+  nm::TripletList off_pattern;
+  off_pattern.add(0, 1, 1.0);
+  EXPECT_THROW(a.refill_from_triplets(off_pattern), std::invalid_argument);
+  nm::TripletList out_of_range;
+  out_of_range.add(5, 0, 1.0);
+  EXPECT_THROW(a.refill_from_triplets(out_of_range), std::invalid_argument);
+}
+
+TEST(SparseMatrix, RefillSlotCacheReproducesTheSearchPath) {
+  const auto reference = random_nonsym(40);
+  auto reused = reference;  // same pattern, values to be overwritten
+
+  // Stamp every stored entry in a scrambled but fixed order, twice: the
+  // first refill builds the slot cache, the second uses it.
+  nm::TripletList stamps;
+  for (int r = 0; r < reference.rows(); ++r) {
+    for (int k = reference.row_offsets()[static_cast<std::size_t>(r)];
+         k < reference.row_offsets()[static_cast<std::size_t>(r) + 1]; ++k) {
+      stamps.add(r, reference.column_indices()[static_cast<std::size_t>(k)],
+                 reference.values()[static_cast<std::size_t>(k)] * 2.0);
+    }
+  }
+  std::vector<int> slots;
+  reused.refill_from_triplets(stamps, &slots);
+  EXPECT_EQ(slots.size(), stamps.size());
+  const std::vector<double> first = reused.values();
+  reused.refill_from_triplets(stamps, &slots);  // cached path
+  EXPECT_EQ(reused.values(), first);
+  for (int r = 0; r < reference.rows(); ++r) {
+    for (int c = 0; c < reference.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(reused.at(r, c), 2.0 * reference.at(r, c));
+    }
+  }
+  // A cache of the wrong length is rejected rather than trusted.
+  nm::TripletList shorter;
+  shorter.add(0, 0, 1.0);
+  EXPECT_THROW(reused.refill_from_triplets(shorter, &slots), std::invalid_argument);
+}
+
+TEST(Solvers, Ilu0RefactorMatchesFreshFactorization) {
+  const auto a1 = random_nonsym(50);
+
+  // Same pattern, different coefficients: scale every value.
+  nm::TripletList scaled;
+  for (int r = 0; r < a1.rows(); ++r) {
+    for (int k = a1.row_offsets()[static_cast<std::size_t>(r)];
+         k < a1.row_offsets()[static_cast<std::size_t>(r) + 1]; ++k) {
+      scaled.add(r, a1.column_indices()[static_cast<std::size_t>(k)],
+                 a1.values()[static_cast<std::size_t>(k)] * (r % 2 == 0 ? 1.5 : 0.75));
+    }
+  }
+  auto a2 = a1;
+  a2.refill_from_triplets(scaled);
+
+  nm::Ilu0Preconditioner reused(a1);
+  reused.refactor(a2);
+  const nm::Ilu0Preconditioner fresh(a2);
+
+  const std::vector<double> r = random_vector(50);
+  std::vector<double> z_reused(50), z_fresh(50);
+  reused.apply(r, z_reused);
+  fresh.apply(r, z_fresh);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(z_reused[static_cast<std::size_t>(i)],
+                     z_fresh[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Solvers, Ilu0RefactorRejectsADifferentPattern) {
+  const auto a = random_nonsym(20);
+  nm::Ilu0Preconditioner precond(a);
+  nm::TripletList t;
+  t.add(0, 0, 1.0);
+  t.add(1, 1, 1.0);
+  const auto other = nm::CsrMatrix::from_triplets(2, 2, t);
+  EXPECT_THROW(precond.refactor(other), std::invalid_argument);
+}
+
+TEST(Solvers, WorkspaceReuseGivesIdenticalSolutions) {
+  // The same workspace serves BiCGSTAB and CG across systems of different
+  // sizes, and never changes the computed iterates.
+  nm::KrylovWorkspace workspace;
+
+  const auto a = random_nonsym(60);
+  const std::vector<double> b = random_vector(60);
+  std::vector<double> x_ws(60, 0.0), x_local(60, 0.0);
+  const nm::Ilu0Preconditioner precond(a);
+  const auto report_ws = nm::solve_bicgstab(a, b, x_ws, &precond, {}, &workspace);
+  const auto report_local = nm::solve_bicgstab(a, b, x_local, &precond);
+  ASSERT_TRUE(report_ws.converged);
+  EXPECT_EQ(report_ws.iterations, report_local.iterations);
+  EXPECT_EQ(x_ws, x_local);
+
+  const auto spd = random_spd(25);
+  const std::vector<double> b2 = random_vector(25);
+  std::vector<double> y_ws(25, 0.0), y_local(25, 0.0);
+  const auto cg_ws = nm::solve_cg(spd, b2, y_ws, nullptr, {}, &workspace);
+  const auto cg_local = nm::solve_cg(spd, b2, y_local);
+  ASSERT_TRUE(cg_ws.converged);
+  EXPECT_EQ(cg_ws.iterations, cg_local.iterations);
+  EXPECT_EQ(y_ws, y_local);
+}
+
+TEST(Solvers, ReportsCarrySolveWallTime) {
+  const auto a = random_nonsym(80);
+  const std::vector<double> b = random_vector(80);
+  std::vector<double> x(80, 0.0);
+  const auto report = nm::solve_bicgstab(a, b, x);
+  ASSERT_TRUE(report.converged);
+  EXPECT_GE(report.solve_time_s, 0.0);
+  EXPECT_LT(report.solve_time_s, 60.0);  // sanity: a wall time, not garbage
+}
+
 // --------------------------------------------------------------- tridiagonal
 TEST(Tridiagonal, SolvesKnownSystem) {
   // [2 -1; -1 2 -1; -1 2] x = [1 0 1] -> x = [1 1 1].

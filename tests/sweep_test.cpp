@@ -10,6 +10,7 @@
 #include "hydraulics/pump.h"
 #include "sweep/registry.h"
 #include "sweep/runner.h"
+#include "sweep/system_cache.h"
 
 namespace co = brightsi::core;
 namespace fc = brightsi::flowcell;
@@ -248,6 +249,64 @@ TEST(SweepRegistry, VrmPlanReproducesTheEdgeVsDistributedShape) {
   EXPECT_DOUBLE_EQ(result.rows[3].metrics[0], 16.0);
   EXPECT_DOUBLE_EQ(result.rows[7].metrics[0], 16.0);
   EXPECT_GT(distributed_min, edge_min);
+}
+
+TEST(SweepCache, ThermalModelReusedAcrossOperatingPoints) {
+  const co::SystemConfig base = co::power7_system_config();
+  sw::ThermalModelCache cache;
+
+  sw::ScenarioSpec fast_flow;
+  fast_flow.set("flow_ml_min", 676.0);
+  sw::ScenarioSpec slow_flow;
+  slow_flow.set("flow_ml_min", 48.0);
+  sw::ScenarioSpec finer_grid;
+  finer_grid.set("axial_cells", 6.0);
+
+  const auto first = cache.model_for(sw::apply_scenario(base, fast_flow), fast_flow);
+  const auto second = cache.model_for(sw::apply_scenario(base, slow_flow), slow_flow);
+  EXPECT_EQ(first.get(), second.get());  // operating-point change: cache hit
+  EXPECT_EQ(cache.build_count(), 1);
+
+  const auto third = cache.model_for(sw::apply_scenario(base, finer_grid), finer_grid);
+  EXPECT_NE(first.get(), third.get());  // structural change: rebuild
+  EXPECT_EQ(third->ny(), 6);
+  EXPECT_EQ(cache.build_count(), 2);
+
+  sw::ThermalModelCache disabled(false);
+  const auto a = disabled.model_for(sw::apply_scenario(base, fast_flow), fast_flow);
+  const auto b = disabled.model_for(sw::apply_scenario(base, fast_flow), fast_flow);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(disabled.build_count(), 2);
+}
+
+TEST(SweepCache, CachedAndUncachedRowsByteIdenticalAtAnyThreadCount) {
+  // The acceptance bar of the structure cache: rows must be byte-identical
+  // with reuse on and off, serial and parallel. The plan mixes structural
+  // (axial_cells) and operating-point (flow, inlet) axes so both cache
+  // hits and rebuilds occur mid-sweep.
+  sw::SweepPlan plan;
+  plan.name = "cache_crosscheck";
+  plan.base = co::power7_system_config();
+  plan.base.thermal_grid.axial_cells = 8;
+  plan.evaluator = sw::cosim_evaluator();
+  plan.add_grid({{"axial_cells", {6.0, 8.0}},
+                 {"flow_ml_min", {200.0, 676.0}},
+                 {"inlet_c", {27.0, 37.0}}});
+  ASSERT_EQ(plan.scenarios.size(), 8u);
+
+  sw::SweepOptions cached_serial{1, true};
+  sw::SweepOptions uncached_serial{1, false};
+  sw::SweepOptions cached_parallel{4, true};
+  sw::SweepOptions uncached_parallel{4, false};
+
+  const std::string reference = csv_of(sw::SweepRunner(uncached_serial).run(plan));
+  EXPECT_EQ(csv_of(sw::SweepRunner(cached_serial).run(plan)), reference);
+  EXPECT_EQ(csv_of(sw::SweepRunner(cached_parallel).run(plan)), reference);
+  EXPECT_EQ(csv_of(sw::SweepRunner(uncached_parallel).run(plan)), reference);
+
+  const sw::SweepResult cached = sw::SweepRunner(cached_serial).run(plan);
+  EXPECT_EQ(cached.failure_count(), 0);
+  EXPECT_EQ(json_of(cached), json_of(sw::SweepRunner(uncached_serial).run(plan)));
 }
 
 TEST(SweepCsv, QuotesCellsWithCommas) {

@@ -2,11 +2,14 @@
 // properties, monotonicity in flow/power, transient convergence to steady
 // state and the POWER7+ microchannel stack.
 #include <cmath>
+#include <functional>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "chip/power7.h"
 #include "thermal/model.h"
+#include "thermal/solve_context.h"
 #include "thermal/stack.h"
 
 namespace th = brightsi::thermal;
@@ -276,6 +279,122 @@ TEST(ThermalModel, TransientRejectsBadInputs) {
   EXPECT_THROW(model.step_transient(state, fp, nominal_op(), 0.0), std::invalid_argument);
   const auto wrong = brightsi::numerics::Grid3<double>(2, 2, 2, kInlet);
   EXPECT_THROW(model.step_transient(wrong, fp, nominal_op(), 0.1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ solve context
+TEST(SolveContext, WarmStartMatchesColdStartWithinSolverTolerance) {
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, coarse_grid());
+  const auto fp = ch::make_power7_floorplan();
+  const auto op = nominal_op();
+  const auto cold = model.solve_steady(fp, op);
+
+  th::ThermalSolveContext context(model);
+  const auto first = context.solve_steady(fp, op);
+  const auto warm = context.solve_steady(fp, op);  // warm-started repeat
+
+  // The first context solve is bitwise the one-shot solve.
+  EXPECT_DOUBLE_EQ(first.peak_temperature_k, cold.peak_temperature_k);
+  // The warm repeat agrees with the cold solve to (well within) the solver
+  // tolerance, and needs essentially no iterations.
+  double max_abs_difference = 0.0;
+  for (std::size_t i = 0; i < cold.temperature_k.data().size(); ++i) {
+    max_abs_difference = std::max(
+        max_abs_difference, std::abs(warm.temperature_k.data()[i] -
+                                     cold.temperature_k.data()[i]));
+  }
+  EXPECT_LT(max_abs_difference, 1e-6);
+  EXPECT_LE(warm.solver_report.iterations, first.solver_report.iterations / 4);
+  EXPECT_EQ(context.stats().solves, 2);
+}
+
+TEST(SolveContext, WarmStartTracksOperatingPointChanges) {
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, coarse_grid());
+  const auto fp = ch::make_power7_floorplan();
+  th::ThermalSolveContext context(model);
+  auto op = nominal_op();
+  (void)context.solve_steady(fp, op);
+
+  // A different operating point solved warm must match its own cold solve,
+  // not drift toward the previous one.
+  op.total_flow_m3_per_s = kFlow / 2.0;
+  const auto warm = context.solve_steady(fp, op);
+  const auto cold = model.solve_steady(fp, op);
+  EXPECT_NEAR(warm.peak_temperature_k, cold.peak_temperature_k, 1e-6);
+  EXPECT_LT(warm.energy_balance_error, 1e-6);
+}
+
+TEST(SolveContext, ResetRestoresColdStartExactly) {
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, coarse_grid());
+  const auto fp = ch::make_power7_floorplan();
+  const auto op = nominal_op();
+  th::ThermalSolveContext context(model);
+  const auto first = context.solve_steady(fp, op);
+  (void)context.solve_steady(fp, op);
+  context.reset();
+  const auto after_reset = context.solve_steady(fp, op);
+  // Cold solves are deterministic, so reset reproduces the first solve
+  // bit-for-bit (the sweep cache's byte-identity guarantee rests on this).
+  EXPECT_EQ(after_reset.temperature_k.data(), first.temperature_k.data());
+  EXPECT_EQ(after_reset.solver_report.iterations, first.solver_report.iterations);
+}
+
+TEST(SolveContext, TransientStepsMatchTheOneShotPath) {
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, coarse_grid());
+  const auto fp = ch::make_power7_floorplan();
+  const auto op = nominal_op();
+
+  auto state_one_shot = model.uniform_state(kInlet);
+  auto state_context = model.uniform_state(kInlet);
+  th::ThermalSolveContext context(model);
+  for (int step = 0; step < 5; ++step) {
+    const auto a = model.step_transient(state_one_shot, fp, op, 0.05);
+    const auto b = context.step_transient(state_context, fp, op, 0.05);
+    state_one_shot = a.temperature_k;
+    state_context = b.temperature_k;
+    ASSERT_EQ(state_context.data(), state_one_shot.data()) << "step " << step;
+  }
+}
+
+TEST(SolveContext, MixedSteadyAndTransientSolvesShareOneContext) {
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, coarse_grid());
+  const auto fp = ch::make_power7_floorplan();
+  const auto op = nominal_op();
+  th::ThermalSolveContext context(model);
+  const auto steady = context.solve_steady(fp, op);
+  // A transient step from the steady field stays put (it is the fixed point
+  // of the backward-Euler map), even through the mode switch.
+  const auto step = context.step_transient(steady.temperature_k, fp, op, 0.05);
+  EXPECT_NEAR(step.peak_temperature_k, steady.peak_temperature_k, 1e-6);
+  const auto steady_again = context.solve_steady(fp, op);
+  EXPECT_NEAR(steady_again.peak_temperature_k, steady.peak_temperature_k, 1e-6);
+}
+
+TEST(SolveContext, NonConvergenceReportsResidualAndIterations) {
+  auto settings = coarse_grid();
+  settings.solver.max_iterations = 1;
+  settings.solver.relative_tolerance = 1e-300;
+  settings.solver.absolute_tolerance = 0.0;
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, settings);
+  const auto fp = ch::make_power7_floorplan();
+  auto state = model.uniform_state(kInlet);
+  for (const auto& attempt :
+       {std::function<void()>([&] { (void)model.solve_steady(fp, nominal_op()); }),
+        std::function<void()>([&] { (void)model.step_transient(state, fp, nominal_op(), 0.05); })}) {
+    try {
+      attempt();
+      FAIL() << "expected non-convergence";
+    } catch (const std::runtime_error& e) {
+      const std::string message = e.what();
+      EXPECT_NE(message.find("residual"), std::string::npos) << message;
+      EXPECT_NE(message.find("iterations"), std::string::npos) << message;
+    }
+  }
 }
 
 // -------------------------------------------------------------- validation

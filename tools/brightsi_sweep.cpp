@@ -13,6 +13,8 @@
 //   --json FILE     write result records as JSON
 //   --timing FILE   write per-scenario wall time
 //   --quiet         suppress the result table on stdout
+//   --no-reuse      rebuild every model from scratch per scenario (results
+//                   are byte-identical with or without reuse)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -35,7 +37,7 @@ int usage(const char* argv0, int exit_code) {
   std::fprintf(exit_code == 0 ? stdout : stderr,
                "usage: %s --list | --params\n"
                "       %s <plan> [--threads N] [--csv FILE] [--json FILE]"
-               " [--timing FILE] [--quiet]\n"
+               " [--timing FILE] [--quiet] [--no-reuse]\n"
                "       %s custom --evaluator cosim|array|rail"
                " (--grid p=v1,v2,... | --set p=v)... [options]\n",
                argv0, argv0, argv0);
@@ -176,6 +178,8 @@ int main(int argc, char** argv) {
         timing_path = next();
       } else if (arg == "--quiet") {
         quiet = true;
+      } else if (arg == "--no-reuse") {
+        options.reuse_structures = false;
       } else if (arg == "--evaluator") {
         evaluator_name = next();
       } else if (arg == "--grid") {
