@@ -1,0 +1,142 @@
+// Mission stepping throughput: repeated core::run_mission on the paper's
+// POWER7+ configuration — the unit of work of every mission sweep scenario
+// and the loop the shared transient engine owns (phase-aligned schedule,
+// one solve context across the mission, in-place state hand-off instead of
+// a per-step full-grid copy).
+//
+// Prints a human-readable summary and writes a machine-readable
+// BENCH_mission.json (steps/s, thermal-solve vs bus/electrochem time
+// split) next to BENCH_cosim.json in the CI Release job's artifacts. A
+// non-flag first argument overrides the JSON path.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include <benchmark/benchmark.h>
+
+#include "core/mission.h"
+
+namespace co = brightsi::core;
+namespace ch = brightsi::chip;
+
+namespace {
+
+co::MissionConfig bench_mission() {
+  co::MissionConfig config;
+  config.system = co::power7_system_config();
+  config.system.thermal_grid.axial_cells = 16;
+  config.system.fvm.axial_steps = 60;
+  config.workload = ch::burst_trace(1);  // 3 s of idle | burst | sustain
+  config.reservoir.tank_volume_m3 = 5e-6;
+  config.reservoir.total_vanadium_mol_per_m3 = 2001.0;
+  config.reservoir.chemistry = config.system.chemistry;
+  config.dt_s = 0.05;  // 60 steps per mission
+  return config;
+}
+
+struct Measurement {
+  int missions = 0;
+  long long steps = 0;
+  double wall_s = 0.0;
+  long long thermal_iterations = 0;
+  double thermal_assembly_s = 0.0;
+  double thermal_solve_s = 0.0;
+
+  [[nodiscard]] double steps_per_s() const { return wall_s > 0.0 ? steps / wall_s : 0.0; }
+  [[nodiscard]] double bus_s() const {
+    return wall_s - thermal_assembly_s - thermal_solve_s;
+  }
+};
+
+/// Repeated missions until the measurement is stable (>= 2 s of wall
+/// time), after a warm-up run.
+Measurement measure_repeated_missions(const co::MissionConfig& config) {
+  (void)co::run_mission(config);  // warm-up: first-touch allocations
+  Measurement m;
+  const auto start = std::chrono::steady_clock::now();
+  while (true) {
+    const co::MissionResult result = co::run_mission(config);
+    ++m.missions;
+    m.steps += result.steps;
+    m.thermal_iterations += result.thermal_iterations;
+    m.thermal_assembly_s += result.thermal_assembly_time_s;
+    m.thermal_solve_s += result.thermal_solve_time_s;
+    m.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if ((m.wall_s >= 2.0 && m.missions >= 3) || m.missions >= 64) {
+      return m;
+    }
+  }
+}
+
+void write_json(const char* path, const Measurement& m) {
+  std::FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(file,
+               "{\n"
+               "  \"bench\": \"mission_throughput\",\n"
+               "  \"missions\": %d,\n"
+               "  \"steps\": %lld,\n"
+               "  \"wall_s\": %.6f,\n"
+               "  \"steps_per_s\": %.4f,\n"
+               "  \"mean_step_ms\": %.6f,\n"
+               "  \"mean_bicgstab_iterations_per_step\": %.3f,\n"
+               "  \"thermal_assembly_s_per_step\": %.8f,\n"
+               "  \"thermal_solve_s_per_step\": %.8f,\n"
+               "  \"thermal_assembly_fraction\": %.4f,\n"
+               "  \"thermal_solve_fraction\": %.4f,\n"
+               "  \"bus_electrochem_fraction\": %.4f\n"
+               "}\n",
+               m.missions, m.steps, m.wall_s, m.steps_per_s(), 1e3 * m.wall_s / m.steps,
+               static_cast<double>(m.thermal_iterations) / m.steps,
+               m.thermal_assembly_s / m.steps, m.thermal_solve_s / m.steps,
+               m.thermal_assembly_s / m.wall_s, m.thermal_solve_s / m.wall_s,
+               m.bus_s() / m.wall_s);
+  std::fclose(file);
+  std::printf("wrote %s\n", path);
+}
+
+void print_reproduction(const char* json_path) {
+  const co::MissionConfig config = bench_mission();
+  const Measurement m = measure_repeated_missions(config);
+
+  std::printf("== mission throughput: repeated core::run_mission() ==\n");
+  std::printf("%d missions (%lld steps) in %.3f s -> %.1f steps/s (mean %.2f ms/step)\n",
+              m.missions, m.steps, m.wall_s, m.steps_per_s(), 1e3 * m.wall_s / m.steps);
+  std::printf("thermal: %.1f BiCGSTAB iterations/step\n",
+              static_cast<double>(m.thermal_iterations) / m.steps);
+  std::printf("time split per step: assembly %.2f ms (%.0f%%), krylov %.2f ms (%.0f%%),"
+              " bus/electrochem %.2f ms (%.0f%%)\n\n",
+              1e3 * m.thermal_assembly_s / m.steps, 100.0 * m.thermal_assembly_s / m.wall_s,
+              1e3 * m.thermal_solve_s / m.steps, 100.0 * m.thermal_solve_s / m.wall_s,
+              1e3 * m.bus_s() / m.steps, 100.0 * m.bus_s() / m.wall_s);
+  write_json(json_path, m);
+}
+
+void bm_mission_run(benchmark::State& state) {
+  const co::MissionConfig config = bench_mission();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(co::run_mission(config));
+  }
+}
+BENCHMARK(bm_mission_run)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = "BENCH_mission.json";
+  if (argc > 1 && std::strncmp(argv[1], "--", 2) != 0) {
+    json_path = argv[1];
+    for (int i = 1; i + 1 < argc; ++i) {
+      argv[i] = argv[i + 1];
+    }
+    --argc;
+  }
+  print_reproduction(json_path);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

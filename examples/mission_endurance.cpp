@@ -7,6 +7,9 @@
 //
 // Small tanks (try 2) drain visibly within the run; liter-class tanks are
 // flat over any interactive timescale (see bench/ablation_soc for hours).
+// The second leg resumes from the first leg's thermal + SOC checkpoint,
+// demonstrating the transient engine's resumable missions.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -15,37 +18,56 @@
 namespace co = brightsi::core;
 namespace ch = brightsi::chip;
 
+namespace {
+
+void print_samples(const co::MissionResult& result) {
+  for (const auto& s : result.samples) {
+    std::printf("  %6.1f  %-9s  %8.2f  %10.2f  %5.3f  %6.3f  %6.2f  %s\n", s.time_s,
+                s.phase.c_str(), s.peak_temperature_c, s.mean_outlet_c, s.state_of_charge,
+                s.bus_voltage_v, s.bus_current_a, s.supply_ok ? "ok" : "FAIL");
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const double tank_ml = (argc > 1) ? std::atof(argv[1]) : 5.0;
 
   co::MissionConfig config;
   config.system = co::power7_system_config();
   config.system.thermal_grid.axial_cells = 16;
-  config.workload = ch::burst_trace(2);
+  config.workload = ch::burst_trace(1);
   config.reservoir.tank_volume_m3 = tank_ml * 1e-6;
   config.reservoir.total_vanadium_mol_per_m3 = 2001.0;
   config.reservoir.chemistry = config.system.chemistry;
   config.initial_soc = 0.95;
   config.dt_s = 0.1;
+  config.sample_stride = 3;  // record every third step; the tail is always kept
 
   std::printf("mission: 2x (idle | burst | sustain), %.1f mL tanks per side, SOC0 = %.2f\n\n",
               tank_ml, config.initial_soc);
 
-  const co::MissionResult result = co::run_mission(config);
-
   std::printf("   t (s)  phase      peak (C)  outlet (C)   SOC    bus V   bus A  supply\n");
-  int printed = 0;
-  for (const auto& s : result.samples) {
-    if (++printed % 3 != 0) {
-      continue;  // thin the printout
-    }
-    std::printf("  %6.1f  %-9s  %8.2f  %10.2f  %5.3f  %6.3f  %6.2f  %s\n", s.time_s,
-                s.phase.c_str(), s.peak_temperature_c, s.mean_outlet_c, s.state_of_charge,
-                s.bus_voltage_v, s.bus_current_a, s.supply_ok ? "ok" : "FAIL");
-  }
+  const co::MissionResult leg1 = co::run_mission(config);
+  print_samples(leg1);
 
+  // Second cycle of the duty loop, resumed from the first leg's checkpoint
+  // (thermal field + SOC) instead of a cold uniform start.
+  co::MissionConfig leg2_config = config;
+  leg2_config.initial_soc = leg1.final_soc;
+  const co::MissionResult leg2 = co::run_mission(leg2_config, nullptr, &leg1.final_state);
+  print_samples(leg2);
+
+  const double energy_j = leg1.energy_delivered_j + leg2.energy_delivered_j;
+  const double max_peak_c =
+      std::max(leg1.max_peak_temperature_c, leg2.max_peak_temperature_c);
+  const bool supply_ok = leg1.supply_always_ok && leg2.supply_always_ok;
   std::printf("\nmission summary: final SOC %.3f, max peak %.1f C, %.1f J delivered, supply %s\n",
-              result.final_soc, result.max_peak_temperature_c, result.energy_delivered_j,
-              result.supply_always_ok ? "held throughout" : "FAILED at least once");
+              leg2.final_soc, max_peak_c, energy_j,
+              supply_ok ? "held throughout" : "FAILED at least once");
+  std::printf("(%lld thermal steps; thermal %.0f ms assembly + %.0f ms solve)\n",
+              leg1.steps + leg2.steps,
+              1e3 * (leg1.thermal_assembly_time_s + leg2.thermal_assembly_time_s),
+              1e3 * (leg1.thermal_solve_time_s + leg2.thermal_solve_time_s));
   return 0;
 }

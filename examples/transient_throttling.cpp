@@ -4,31 +4,27 @@
 // crosses its limit (it never does with the microfluidic package at
 // nominal flow — that is the point of the paper).
 //
+// Driven by the shared transient engine (thermal/transient.h): the
+// governor rides the engine's floorplan hook, and the phase-aligned
+// schedule covers the whole trace even when dt does not divide a phase.
+//
 //   $ ./transient_throttling [flow_ml_min]
 //
 // Try 48 ml/min to see the hot-coolant regime and the governor engaging.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
 #include "chip/power7.h"
+#include "chip/workload.h"
 #include "electrochem/vanadium.h"
 #include "flowcell/cell_array.h"
-#include "thermal/model.h"
+#include "thermal/transient.h"
 
 namespace fc = brightsi::flowcell;
 namespace ec = brightsi::electrochem;
 namespace th = brightsi::thermal;
 namespace ch = brightsi::chip;
-
-namespace {
-
-struct Phase {
-  const char* name;
-  double core_activity;
-  double duration_s;
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const double flow_ml_min = (argc > 1) ? std::atof(argv[1]) : 676.0;
@@ -47,56 +43,58 @@ int main(int argc, char** argv) {
   spec.total_flow_m3_per_s = op.total_flow_m3_per_s;
   const fc::FlowCellArray array(spec, ec::power7_array_chemistry());
 
-  const Phase phases[] = {
-      {"idle", 0.15, 0.6},
-      {"burst", 1.0, 1.2},
-      {"sustain", 0.7, 1.2},
-      {"idle", 0.15, 0.6},
-  };
+  // Only the core activity varies across phases; the rest of the chip is
+  // held at spec (matching the governor's DVFS-on-compute model).
+  const ch::WorkloadTrace trace({
+      {"idle", 0.6, 0.15, 1.0, 1.0, 1.0},
+      {"burst", 1.2, 1.0, 1.0, 1.0, 1.0},
+      {"sustain", 1.2, 0.7, 1.0, 1.0, 1.0},
+      {"idle", 0.6, 0.15, 1.0, 1.0, 1.0},
+  });
 
   std::printf("transient at %.0f ml/min, dt = %.0f ms, throttle at %.0f C\n\n", flow_ml_min,
               kDt * 1e3, kTempLimitC);
   std::printf("   t (s)  phase     activity  peak (C)  outlet (C)  I@1V (A)  throttled\n");
 
-  auto state = model.uniform_state(op.inlet_temperature_k);
-  double time = 0.0;
+  th::TransientEngineOptions options;
+  options.schedule.dt_s = kDt;
+  th::TransientEngine engine(model, op, options);
+
   double throttle = 1.0;
-  for (const Phase& phase : phases) {
-    for (double elapsed = 0.0; elapsed < phase.duration_s; elapsed += kDt) {
-      ch::Power7PowerSpec power;
-      power.core_w_per_cm2 *= phase.core_activity * throttle;
-      const auto floorplan = ch::make_power7_floorplan(power);
+  const ch::Power7PowerSpec power_spec;
+  engine.run(
+      trace,
+      [&](const ch::WorkloadPhase& phase, const th::TransientStep&) {
+        // Governor hook: the workload asks for phase.core_activity, the
+        // governor grants phase.core_activity * throttle.
+        ch::WorkloadPhase granted = phase;
+        granted.core_activity *= throttle;
+        return ch::apply_phase(power_spec, granted);
+      },
+      [&](const th::TransientEngine::StepView& view) {
+        const double peak_c = view.solution.peak_temperature_k - 273.15;
 
-      const auto sol = model.step_transient(state, floorplan, op, kDt);
-      state = sol.temperature_k;
-      const double peak_c = sol.peak_temperature_k - 273.15;
+        // Governor: pull activity down 10 % per step above the limit, relax
+        // back when comfortably below.
+        if (peak_c > kTempLimitC) {
+          throttle = std::max(0.1, throttle * 0.9);
+        } else if (peak_c < kTempLimitC - 10.0 && throttle < 1.0) {
+          throttle = std::min(1.0, throttle * 1.05);
+        }
 
-      // Governor: pull activity down 10 % per step above the limit, relax
-      // back when comfortably below.
-      if (peak_c > kTempLimitC) {
-        throttle = std::max(0.1, throttle * 0.9);
-      } else if (peak_c < kTempLimitC - 10.0 && throttle < 1.0) {
-        throttle = std::min(1.0, throttle * 1.05);
-      }
+        // Flow-cell output under the mean outlet temperature of this step.
+        const double outlet_mean = view.mean_outlet_k;
+        const double current = array.current_at_voltage(
+            1.0, {op.inlet_temperature_k, (op.inlet_temperature_k + outlet_mean) / 2.0,
+                  outlet_mean});
 
-      // Flow-cell output under the mean outlet temperature of this step.
-      double outlet_mean = 0.0;
-      for (const double t : sol.channel_outlet_k) {
-        outlet_mean += t;
-      }
-      outlet_mean /= static_cast<double>(sol.channel_outlet_k.size());
-      const double current = array.current_at_voltage(
-          1.0, {op.inlet_temperature_k, (op.inlet_temperature_k + outlet_mean) / 2.0,
-                outlet_mean});
+        if ((view.step.index + 1) % 4 == 0) {
+          std::printf("  %6.2f  %-8s  %8.2f  %8.2f  %10.2f  %8.2f  %s\n", view.step.t_end_s,
+                      view.phase.name.c_str(), view.phase.core_activity * throttle, peak_c,
+                      outlet_mean - 273.15, current, throttle < 1.0 ? "yes" : "-");
+        }
+      });
 
-      time += kDt;
-      if (static_cast<int>(time / kDt) % 4 == 0) {
-        std::printf("  %6.2f  %-8s  %8.2f  %8.2f  %10.2f  %8.2f  %s\n", time, phase.name,
-                    phase.core_activity * throttle, peak_c, outlet_mean - 273.15, current,
-                    throttle < 1.0 ? "yes" : "-");
-      }
-    }
-  }
   std::printf("\ndone; with the nominal 676 ml/min flow the governor never engages.\n");
   return 0;
 }

@@ -1,14 +1,14 @@
 #include "core/mission.h"
 
 #include <cmath>
-#include <memory>
+#include <utility>
 
 #include "electrochem/constants.h"
 #include "flowcell/cell_array.h"
 #include "numerics/contracts.h"
 #include "numerics/root_finding.h"
 #include "pdn/vrm.h"
-#include "thermal/solve_context.h"
+#include "thermal/transient.h"
 
 namespace brightsi::core {
 
@@ -22,7 +22,10 @@ void MissionConfig::validate() const {
   ensure(initial_soc > 0.0 && initial_soc < 1.0, "initial SOC in (0, 1)");
   ensure_positive(dt_s, "mission step");
   ensure_positive(soc_rebuild_threshold, "SOC rebuild threshold");
+  ensure(sample_stride >= 1, "mission sample stride must be >= 1");
   ensure(workload.total_duration_s() > 0.0, "mission needs a workload");
+  ensure(dt_s <= workload.total_duration_s(),
+         "mission step exceeds the workload duration (the mission would record nothing)");
 }
 
 namespace {
@@ -74,15 +77,28 @@ BusPoint solve_bus(const fc::FlowCellArray& array, const pdn::VrmSpec& vrm,
 }  // namespace
 
 MissionResult run_mission(const MissionConfig& config) {
+  return run_mission(config, nullptr, nullptr);
+}
+
+MissionResult run_mission(const MissionConfig& config,
+                          std::shared_ptr<const thermal::ThermalModel> thermal_model,
+                          const numerics::Grid3<double>* initial_thermal_state) {
   config.validate();
   const SystemConfig& sys = config.system;
 
-  // Thermal model shared across the mission; one solve context carries the
-  // assembled operator and warm starts across every transient step.
+  // Thermal model shared across the mission (built here unless the caller
+  // hands one in, e.g. the sweep's per-worker cache); the transient engine
+  // carries one solve context across every step.
   const chip::Floorplan reference_floorplan = chip::make_power7_floorplan(sys.power_spec);
-  th::ThermalModel thermal(sys.stack, reference_floorplan.die_width(),
-                           reference_floorplan.die_height(), sys.thermal_grid);
-  th::ThermalSolveContext thermal_context(thermal);
+  if (thermal_model == nullptr) {
+    thermal_model = std::make_shared<const th::ThermalModel>(
+        sys.stack, reference_floorplan.die_width(), reference_floorplan.die_height(),
+        sys.thermal_grid);
+  } else {
+    ensure(thermal_model->stack() == sys.stack &&
+               thermal_model->settings() == sys.thermal_grid,
+           "run_mission: shared thermal model does not match the system config");
+  }
   th::OperatingPoint op;
   op.total_flow_m3_per_s = sys.array_spec.total_flow_m3_per_s;
   op.inlet_temperature_k = sys.array_spec.inlet_temperature_k;
@@ -105,28 +121,30 @@ MissionResult run_mission(const MissionConfig& config) {
   auto array = std::make_unique<fc::FlowCellArray>(sys.array_spec,
                                                    reservoir.chemistry_at_soc(), sys.fvm);
 
+  th::TransientEngineOptions engine_options;
+  engine_options.schedule.dt_s = config.dt_s;
+  engine_options.schedule.align_phase_boundaries = config.align_phase_boundaries;
+  engine_options.sample_stride = config.sample_stride;
+  engine_options.initial_state = initial_thermal_state;
+  th::TransientEngine engine(*thermal_model, op, engine_options);
+
   MissionResult result;
-  auto state = thermal.uniform_state(op.inlet_temperature_k);
-  const int steps = static_cast<int>(config.workload.total_duration_s() / config.dt_s);
-  result.samples.reserve(static_cast<std::size_t>(steps));
+  result.samples.reserve(
+      static_cast<std::size_t>(config.workload.total_duration_s() / config.dt_s) /
+          static_cast<std::size_t>(config.sample_stride) +
+      2);
 
-  for (int step = 0; step < steps; ++step) {
-    const double t = (step + 0.5) * config.dt_s;
-    const chip::WorkloadPhase& phase = config.workload.phase_at(t);
-    const chip::Floorplan floorplan = chip::apply_phase(sys.power_spec, phase);
+  // The floorplan hook runs right before each solve; stash the rail demand
+  // so the step callback does not rebuild the floorplan.
+  double rail_power_w = 0.0;
+  auto floorplan_for = [&](const chip::WorkloadPhase& phase, const th::TransientStep&) {
+    chip::Floorplan floorplan = chip::apply_phase(sys.power_spec, phase);
+    rail_power_w = floorplan.cache_power();
+    return floorplan;
+  };
 
-    const th::ThermalSolution sol =
-        thermal_context.step_transient(state, floorplan, op, config.dt_s);
-    state = sol.temperature_k;
-    double outlet_mean = op.inlet_temperature_k;
-    if (!sol.channel_outlet_k.empty()) {
-      outlet_mean = 0.0;
-      for (const double v : sol.channel_outlet_k) {
-        outlet_mean += v;
-      }
-      outlet_mean /= static_cast<double>(sol.channel_outlet_k.size());
-    }
-
+  engine.run(config.workload, floorplan_for, [&](const th::TransientEngine::StepView& view) {
+    const double step_dt = view.step.dt_s();
     // Refresh the electrochemical model when the tanks drifted enough.
     if (std::abs(reservoir.state_of_charge() - array_soc) > config.soc_rebuild_threshold) {
       array_soc = reservoir.state_of_charge();
@@ -134,30 +152,41 @@ MissionResult run_mission(const MissionConfig& config) {
                                                   reservoir.chemistry_at(array_soc), sys.fvm);
     }
 
-    const BusPoint bus = solve_bus(*array, sys.vrm_spec, floorplan.cache_power(),
-                                   op.inlet_temperature_k, outlet_mean);
+    const BusPoint bus = solve_bus(*array, sys.vrm_spec, rail_power_w,
+                                   op.inlet_temperature_k, view.mean_outlet_k);
     if (bus.ok) {
-      reservoir.discharge(bus.current_a, config.dt_s);
-      result.energy_delivered_j += bus.voltage_v * bus.current_a * config.dt_s;
+      reservoir.discharge(bus.current_a, step_dt);
+      result.energy_delivered_j += bus.voltage_v * bus.current_a * step_dt;
     } else {
       result.supply_always_ok = false;
     }
 
+    const double peak_c = ec::constants::kelvin_to_celsius(view.solution.peak_temperature_k);
+    result.max_peak_temperature_c = std::max(result.max_peak_temperature_c, peak_c);
+    result.final_soc = reservoir.state_of_charge();
+
+    if (!view.sampled) {
+      return;
+    }
     MissionSample sample;
-    sample.time_s = (step + 1) * config.dt_s;
-    sample.phase = phase.name;
-    sample.peak_temperature_c =
-        ec::constants::kelvin_to_celsius(sol.peak_temperature_k);
-    sample.mean_outlet_c = ec::constants::kelvin_to_celsius(outlet_mean);
+    sample.time_s = view.step.t_end_s;
+    sample.dt_s = step_dt;
+    sample.phase = view.phase.name;
+    sample.peak_temperature_c = peak_c;
+    sample.mean_outlet_c = ec::constants::kelvin_to_celsius(view.mean_outlet_k);
     sample.state_of_charge = reservoir.state_of_charge();
     sample.bus_voltage_v = bus.voltage_v;
     sample.bus_current_a = bus.current_a;
     sample.supply_ok = bus.ok;
-    result.max_peak_temperature_c =
-        std::max(result.max_peak_temperature_c, sample.peak_temperature_c);
     result.samples.push_back(std::move(sample));
-  }
-  result.final_soc = reservoir.state_of_charge();
+  });
+
+  result.final_state = engine.take_state();
+  result.steps = engine.steps_taken();
+  const th::ThermalSolveContext::Stats& stats = engine.thermal_stats();
+  result.thermal_iterations = stats.iterations;
+  result.thermal_assembly_time_s = stats.assembly_time_s;
+  result.thermal_solve_time_s = stats.solve_time_s;
   return result;
 }
 

@@ -8,9 +8,15 @@
 // current) evolves over the mission. This answers the system-level
 // question behind the paper's flow-battery framing: for how long, and
 // under what workloads, can the electrolyte loop actually carry the rail?
+//
+// Stepping goes through the shared TransientEngine (thermal/transient.h):
+// phase-boundary-aligned steps that always cover the full trace duration,
+// one solve context across the mission, and a final_state/final_soc
+// checkpoint that seeds a resumed follow-up mission.
 #ifndef BRIGHTSI_CORE_MISSION_H
 #define BRIGHTSI_CORE_MISSION_H
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,10 +33,17 @@ struct MissionConfig {
   electrochem::ReservoirSpec reservoir;  ///< tank sizing (chemistry ignored;
                                          ///< the system chemistry is used)
   double initial_soc = 0.95;
-  double dt_s = 0.1;                     ///< transient step
+  double dt_s = 0.1;                     ///< nominal transient step
   /// SOC resolution for rebuilding the electrochemical model (the array is
   /// re-instantiated when the SOC moved by more than this).
   double soc_rebuild_threshold = 0.02;
+  /// Record every Nth step (the final step is always recorded); reservoir
+  /// and energy integration always run every step.
+  int sample_stride = 1;
+  /// Snap steps to workload phase edges (thermal/transient.h). Disabling
+  /// runs plain dt_s steps through phase boundaries; the trace end is
+  /// still covered exactly either way.
+  bool align_phase_boundaries = true;
 
   void validate() const;
 };
@@ -38,6 +51,7 @@ struct MissionConfig {
 /// One recorded step.
 struct MissionSample {
   double time_s = 0.0;
+  double dt_s = 0.0;  ///< this step's actual length (residual steps are shorter)
   std::string phase;
   double peak_temperature_c = 0.0;
   double mean_outlet_c = 0.0;
@@ -51,14 +65,32 @@ struct MissionSample {
 struct MissionResult {
   std::vector<MissionSample> samples;
   double final_soc = 0.0;
-  double max_peak_temperature_c = 0.0;
+  double max_peak_temperature_c = 0.0;  ///< over every step, sampled or not
   bool supply_always_ok = true;
   double energy_delivered_j = 0.0;  ///< bus-side integral of V*I dt
+
+  /// Checkpoint: the final thermal field. With final_soc, seeds a resumed
+  /// mission (pass as initial_thermal_state, set initial_soc = final_soc).
+  numerics::Grid3<double> final_state;
+
+  /// Work counters for perf reporting (bench/mission_throughput).
+  long long steps = 0;
+  long long thermal_iterations = 0;      ///< BiCGSTAB iterations, summed
+  double thermal_assembly_time_s = 0.0;
+  double thermal_solve_time_s = 0.0;
 };
 
 /// Runs the mission. Throws only on configuration errors; supply
 /// infeasibility is reported per sample, not thrown.
 [[nodiscard]] MissionResult run_mission(const MissionConfig& config);
+
+/// As above, with an externally assembled thermal model (per-worker sweep
+/// caches share one across scenarios; it must match config.system's stack
+/// and grid settings) and an optional thermal-field checkpoint to resume
+/// from. Either argument may be null/absent.
+[[nodiscard]] MissionResult run_mission(
+    const MissionConfig& config, std::shared_ptr<const thermal::ThermalModel> thermal_model,
+    const numerics::Grid3<double>* initial_thermal_state = nullptr);
 
 }  // namespace brightsi::core
 

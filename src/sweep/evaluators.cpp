@@ -1,14 +1,41 @@
 #include "sweep/evaluators.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/cosim.h"
+#include "core/mission.h"
 #include "flowcell/cell_array.h"
 #include "hydraulics/pump.h"
 #include "pdn/power_grid.h"
 #include "sweep/scenario.h"
 
 namespace brightsi::sweep {
+
+namespace {
+
+/// The mission workload presets selectable from a numeric scenario
+/// parameter (sweep values are doubles).
+chip::WorkloadTrace mission_workload(int kind, int repeats) {
+  chip::WorkloadTrace base;
+  switch (kind) {
+    case 0:
+      base = chip::full_load_trace();
+      break;
+    case 1:
+      base = chip::burst_trace(1);
+      break;
+    case 2:
+      base = chip::memory_bound_trace();
+      break;
+    default:
+      throw std::invalid_argument("workload_kind must be 0, 1 or 2, got " +
+                                  std::to_string(kind));
+  }
+  return chip::WorkloadTrace(base.phases(), repeats);
+}
+
+}  // namespace
 
 SweepEvaluator cosim_evaluator() {
   SweepEvaluator evaluator;
@@ -104,6 +131,47 @@ SweepEvaluator rail_integrity_evaluator() {
   return evaluator;
 }
 
+SweepEvaluator mission_evaluator() {
+  SweepEvaluator evaluator;
+  evaluator.name = "mission";
+  evaluator.metrics = {"steps",          "final_soc", "soc_drop",       "energy_j",
+                       "max_peak_c",     "supply_ok", "supply_ok_frac", "min_bus_v"};
+  evaluator.fn = [](const core::SystemConfig& config, const ScenarioSpec& scenario,
+                    WorkerState& worker) {
+    core::MissionConfig mission;
+    mission.system = config;
+    mission.workload = mission_workload(
+        static_cast<int>(scenario.get("workload_kind").value_or(1.0)),
+        static_cast<int>(scenario.get("workload_repeats").value_or(1.0)));
+    mission.reservoir.tank_volume_m3 = scenario.get("tank_ml").value_or(5.0) * 1e-6;
+    mission.reservoir.total_vanadium_mol_per_m3 = 2001.0;
+    mission.reservoir.chemistry = config.chemistry;
+    mission.initial_soc = scenario.get("initial_soc").value_or(0.95);
+    mission.dt_s = scenario.get("mission_dt_s").value_or(0.1);
+
+    const core::MissionResult result =
+        core::run_mission(mission, worker.thermal_models.model_for(config, scenario));
+    int supply_ok_count = 0;
+    double min_bus_v = result.samples.empty() ? 0.0 : result.samples.front().bus_voltage_v;
+    for (const core::MissionSample& sample : result.samples) {
+      supply_ok_count += sample.supply_ok ? 1 : 0;
+      min_bus_v = std::min(min_bus_v, sample.bus_voltage_v);
+    }
+    return std::vector<double>{
+        static_cast<double>(result.steps),
+        result.final_soc,
+        mission.initial_soc - result.final_soc,
+        result.energy_delivered_j,
+        result.max_peak_temperature_c,
+        result.supply_always_ok ? 1.0 : 0.0,
+        static_cast<double>(supply_ok_count) /
+            static_cast<double>(result.samples.size()),
+        min_bus_v,
+    };
+  };
+  return evaluator;
+}
+
 SweepEvaluator make_evaluator(const std::string& name) {
   if (name == "cosim") {
     return cosim_evaluator();
@@ -114,8 +182,11 @@ SweepEvaluator make_evaluator(const std::string& name) {
   if (name == "rail") {
     return rail_integrity_evaluator();
   }
+  if (name == "mission") {
+    return mission_evaluator();
+  }
   throw std::invalid_argument("unknown evaluator: " + name +
-                              " (expected cosim, array or rail)");
+                              " (expected cosim, array, rail or mission)");
 }
 
 }  // namespace brightsi::sweep

@@ -44,8 +44,16 @@ struct SweepEvaluator {
 /// sets edge_taps_per_side, the conventional edge-fed baseline.
 [[nodiscard]] SweepEvaluator rail_integrity_evaluator();
 
-/// Built-in evaluator by name ("cosim", "array", "rail"); throws
-/// std::invalid_argument on anything else.
+/// Full transient mission (core/run_mission) through the shared transient
+/// engine: tank endurance, delivered energy, peak temperature and supply
+/// feasibility. Mission knobs ride on evaluator-consumed scenario
+/// parameters (tank_ml, mission_dt_s, initial_soc, workload_kind,
+/// workload_repeats); the worker's thermal-model cache is reused across
+/// scenarios that share thermal structure.
+[[nodiscard]] SweepEvaluator mission_evaluator();
+
+/// Built-in evaluator by name ("cosim", "array", "rail", "mission");
+/// throws std::invalid_argument on anything else.
 [[nodiscard]] SweepEvaluator make_evaluator(const std::string& name);
 
 }  // namespace brightsi::sweep

@@ -106,6 +106,24 @@ SweepPlan operating_grid_plan() {
   return plan;
 }
 
+/// Mission-level endurance map: tank volume x workload trace x flow rate x
+/// step size, each scenario a full transient mission through the shared
+/// transient engine. The non-divisible 0.07 s step exercises the
+/// phase-aligned scheduler's residual steps on every run.
+SweepPlan mission_endurance_plan() {
+  SweepPlan plan;
+  plan.name = "mission_endurance";
+  plan.base = core::power7_system_config();
+  plan.base.thermal_grid.axial_cells = 8;  // mission steps solve many operators
+  plan.base.fvm.axial_steps = 60;
+  plan.evaluator = mission_evaluator();
+  plan.add_grid({{"tank_ml", {2.0, 20.0}},
+                 {"workload_kind", {0.0, 1.0}},
+                 {"flow_ml_min", {676.0, 200.0}},
+                 {"mission_dt_s", {0.1, 0.07}}});
+  return plan;
+}
+
 }  // namespace
 
 const std::vector<PlanDescription>& registered_plans() {
@@ -118,6 +136,8 @@ const std::vector<PlanDescription>& registered_plans() {
        "VRM count/placement/resistance vs cache-rail integrity (bench E12)"},
       {"operating_grid",
        "co-simulated flow x inlet-temperature operating grid (3x3)"},
+      {"mission_endurance",
+       "transient mission endurance map: tank x workload x flow x dt"},
   };
   return plans;
 }
@@ -134,6 +154,9 @@ SweepPlan make_registered_plan(const std::string& name) {
   }
   if (name == "operating_grid") {
     return operating_grid_plan();
+  }
+  if (name == "mission_endurance") {
+    return mission_endurance_plan();
   }
   throw std::invalid_argument("unknown sweep plan: " + name);
 }

@@ -98,6 +98,18 @@ const std::vector<ParameterInfo>& parameter_registry() {
       // the scenario directly.
       {"edge_taps_per_side", "edge-fed baseline: VRM taps per die edge (rail evaluator)",
        nullptr},
+      // Evaluator-consumed mission parameters: a MissionConfig wraps the
+      // SystemConfig, so its knobs have no SystemConfig field either;
+      // mission_evaluator() reads them off the scenario directly.
+      {"tank_ml", "electrolyte tank volume per side (mL; mission evaluator)", nullptr},
+      {"mission_dt_s", "nominal mission transient step (s; mission evaluator)", nullptr},
+      {"initial_soc", "mission starting state of charge (mission evaluator)", nullptr},
+      {"workload_kind",
+       "mission workload trace: 0=full-load, 1=idle/burst/sustain, 2=memory-bound "
+       "(mission evaluator)",
+       nullptr},
+      {"workload_repeats", "repeats of the mission workload trace (mission evaluator)",
+       nullptr},
   };
   return registry;
 }

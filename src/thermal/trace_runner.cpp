@@ -1,7 +1,9 @@
 #include "thermal/trace_runner.h"
 
+#include <algorithm>
+
 #include "numerics/contracts.h"
-#include "thermal/solve_context.h"
+#include "thermal/transient.h"
 
 namespace brightsi::thermal {
 
@@ -9,43 +11,36 @@ TraceResult run_thermal_trace(const ThermalModel& model,
                               const chip::Power7PowerSpec& power_spec,
                               const chip::WorkloadTrace& trace,
                               const OperatingPoint& operating_point, double dt_s,
-                              const numerics::Grid3<double>* initial_state) {
+                              const numerics::Grid3<double>* initial_state,
+                              int sample_stride) {
   ensure_positive(dt_s, "trace step");
+  ensure(sample_stride >= 1, "sample stride must be >= 1");
+  TransientEngineOptions options;
+  options.schedule.dt_s = dt_s;
+  options.sample_stride = sample_stride;
+  options.initial_state = initial_state;
+  TransientEngine engine(model, operating_point, options);
+
   TraceResult result;
-  numerics::Grid3<double> state =
-      initial_state ? *initial_state : model.uniform_state(operating_point.inlet_temperature_k);
-
-  const double total = trace.total_duration_s();
-  const int steps = static_cast<int>(total / dt_s);
-  result.samples.reserve(static_cast<std::size_t>(steps));
-
-  // One solve context across all backward-Euler steps: assemble-once,
-  // per-step coefficient refill + ILU(0) refactor.
-  ThermalSolveContext context(model);
-  for (int step = 0; step < steps; ++step) {
-    const double t = (step + 0.5) * dt_s;
-    const chip::WorkloadPhase& phase = trace.phase_at(t);
-    const chip::Floorplan floorplan = chip::apply_phase(power_spec, phase);
-    const ThermalSolution sol = context.step_transient(state, floorplan, operating_point, dt_s);
-    state = sol.temperature_k;
-
-    TraceSample sample;
-    sample.time_s = (step + 1) * dt_s;
-    sample.phase = phase.name;
-    sample.peak_temperature_k = sol.peak_temperature_k;
-    sample.total_power_w = floorplan.total_power();
-    if (!sol.channel_outlet_k.empty()) {
-      double sum = 0.0;
-      for (const double v : sol.channel_outlet_k) {
-        sum += v;
-      }
-      sample.mean_outlet_k = sum / static_cast<double>(sol.channel_outlet_k.size());
-    }
+  result.samples.reserve(static_cast<std::size_t>(trace.total_duration_s() / dt_s) /
+                             static_cast<std::size_t>(sample_stride) +
+                         2);
+  engine.run(trace, power_spec, [&](const TransientEngine::StepView& view) {
     result.max_peak_temperature_k =
-        std::max(result.max_peak_temperature_k, sol.peak_temperature_k);
+        std::max(result.max_peak_temperature_k, view.solution.peak_temperature_k);
+    if (!view.sampled) {
+      return;
+    }
+    TraceSample sample;
+    sample.time_s = view.step.t_end_s;
+    sample.dt_s = view.step.dt_s();
+    sample.phase = view.phase.name;
+    sample.peak_temperature_k = view.solution.peak_temperature_k;
+    sample.mean_outlet_k = view.mean_outlet_k;
+    sample.total_power_w = view.solution.total_power_w;
     result.samples.push_back(std::move(sample));
-  }
-  result.final_state = std::move(state);
+  });
+  result.final_state = engine.take_state();
   return result;
 }
 

@@ -1,6 +1,9 @@
 // Transient trace runner: steps a WorkloadTrace through the thermal model
 // and records the thermal time series (peak, per-channel outlet, block
-// maxima), for governor studies and the transient example.
+// maxima), for governor studies and the transient example. A thin wrapper
+// over the shared TransientEngine (thermal/transient.h): steps are
+// phase-boundary aligned and always cover the full trace duration — the
+// final sample's time_s equals trace.total_duration_s() exactly.
 #ifndef BRIGHTSI_THERMAL_TRACE_RUNNER_H
 #define BRIGHTSI_THERMAL_TRACE_RUNNER_H
 
@@ -14,9 +17,10 @@ namespace brightsi::thermal {
 /// One recorded sample of a transient run.
 struct TraceSample {
   double time_s = 0.0;
+  double dt_s = 0.0;  ///< this step's actual length (residual steps are shorter)
   std::string phase;
   double peak_temperature_k = 0.0;
-  double mean_outlet_k = 0.0;
+  double mean_outlet_k = 0.0;  ///< inlet temperature when the stack has no channels
   double total_power_w = 0.0;
 };
 
@@ -25,17 +29,19 @@ struct TraceSample {
 struct TraceResult {
   std::vector<TraceSample> samples;
   numerics::Grid3<double> final_state;
-  double max_peak_temperature_k = 0.0;
+  double max_peak_temperature_k = 0.0;  ///< over every step, sampled or not
 };
 
-/// Steps `trace` through `model` with backward-Euler steps of `dt_s`,
-/// starting from a uniform field at the coolant inlet temperature (or from
-/// `initial_state` when provided). Records one sample per step.
+/// Steps `trace` through `model` with backward-Euler steps of nominal
+/// `dt_s`, starting from a uniform field at the coolant inlet temperature
+/// (or from `initial_state` when provided). Records every
+/// `sample_stride`th step (the final step is always recorded).
 [[nodiscard]] TraceResult run_thermal_trace(const ThermalModel& model,
                                             const chip::Power7PowerSpec& power_spec,
                                             const chip::WorkloadTrace& trace,
                                             const OperatingPoint& operating_point, double dt_s,
-                                            const numerics::Grid3<double>* initial_state = nullptr);
+                                            const numerics::Grid3<double>* initial_state = nullptr,
+                                            int sample_stride = 1);
 
 }  // namespace brightsi::thermal
 

@@ -113,4 +113,101 @@ TEST(Mission, ValidatesConfiguration) {
   EXPECT_THROW((void)co::run_mission(config), std::invalid_argument);
 }
 
+TEST(Mission, RejectsStepExceedingWorkloadDuration) {
+  // A dt longer than the trace used to truncate to zero steps and return a
+  // "successful" empty mission; it must be a configuration error.
+  auto config = fast_mission(1.0);
+  config.dt_s = 2.0;
+  EXPECT_THROW((void)co::run_mission(config), std::invalid_argument);
+}
+
+TEST(Mission, SamplesCoverTheFullTraceDuration) {
+  // Awkward dt: 1.0 / 0.3 leaves a residual step. The last sample must land
+  // exactly on the trace end instead of dropping the tail.
+  auto config = fast_mission(1.0);
+  config.dt_s = 0.3;
+  const auto result = co::run_mission(config);
+  ASSERT_EQ(result.samples.size(), 4u);
+  EXPECT_NEAR(result.samples.back().time_s, config.workload.total_duration_s(), 1e-9);
+  EXPECT_NEAR(result.samples.back().dt_s, 0.1, 1e-12);
+
+  // Divisible-but-inexact dt: 10 steps, tail kept.
+  config = fast_mission(1.0);
+  config.dt_s = 0.1;
+  const auto divisible = co::run_mission(config);
+  ASSERT_EQ(divisible.samples.size(), 10u);
+  EXPECT_NEAR(divisible.samples.back().time_s, 1.0, 1e-9);
+}
+
+TEST(Mission, EnergyConservedAcrossScheduleModes) {
+  // Phase-aligned vs plain-dt stepping integrate the same mission: the
+  // delivered energy and drained charge agree within the discretization
+  // tolerance even though the step sequences differ.
+  auto config = fast_mission();
+  config.workload = ch::burst_trace(1);  // phases 0.6 | 1.2 | 1.2
+  config.dt_s = 0.25;                    // divides none of them
+  config.reservoir.tank_volume_m3 = 1e-5;  // 10 mL: visible SOC motion
+  const auto aligned = co::run_mission(config);
+  config.align_phase_boundaries = false;
+  const auto plain = co::run_mission(config);
+
+  ASSERT_GT(aligned.energy_delivered_j, 0.0);
+  EXPECT_NEAR(aligned.energy_delivered_j, plain.energy_delivered_j,
+              0.05 * aligned.energy_delivered_j);
+  EXPECT_NEAR(aligned.final_soc, plain.final_soc, 5e-4);
+  // Both schedules cover the full duration.
+  EXPECT_NEAR(aligned.samples.back().time_s, 3.0, 1e-9);
+  EXPECT_NEAR(plain.samples.back().time_s, 3.0, 1e-9);
+}
+
+TEST(Mission, CheckpointResumesSeamlessly) {
+  const auto whole = co::run_mission(fast_mission(1.0));
+
+  auto leg = fast_mission(0.5);
+  const auto first = co::run_mission(leg);
+  auto leg2 = leg;
+  leg2.initial_soc = first.final_soc;
+  const auto second = co::run_mission(leg2, nullptr, &first.final_state);
+
+  // The stitched mission walks the same step sequence as the whole one.
+  EXPECT_NEAR(second.final_soc, whole.final_soc, 1e-6);
+  EXPECT_NEAR(second.samples.back().peak_temperature_c,
+              whole.samples.back().peak_temperature_c, 1e-3);
+  EXPECT_NEAR(first.energy_delivered_j + second.energy_delivered_j,
+              whole.energy_delivered_j, 1e-3 * whole.energy_delivered_j);
+}
+
+TEST(Mission, SampleDecimationPreservesTheIntegration) {
+  auto config = fast_mission(1.0);
+  const auto all = co::run_mission(config);
+  config.sample_stride = 4;
+  const auto thinned = co::run_mission(config);
+  // Recording every 4th step changes the sample count only — the
+  // reservoir/energy integration still runs every step.
+  ASSERT_EQ(all.samples.size(), 10u);
+  ASSERT_EQ(thinned.samples.size(), 3u);  // steps 4, 8 and the final 10th
+  EXPECT_NEAR(thinned.samples.back().time_s, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(thinned.final_soc, all.final_soc);
+  EXPECT_DOUBLE_EQ(thinned.energy_delivered_j, all.energy_delivered_j);
+  EXPECT_DOUBLE_EQ(thinned.max_peak_temperature_c, all.max_peak_temperature_c);
+}
+
+TEST(Mission, ReportsThermalWorkCounters) {
+  const auto result = co::run_mission(fast_mission(0.5));
+  EXPECT_EQ(result.steps, 5);
+  EXPECT_GT(result.thermal_iterations, 0);
+  EXPECT_GE(result.thermal_solve_time_s, 0.0);
+  EXPECT_GT(result.final_state.size(), 0u);  // non-empty checkpoint
+}
+
+TEST(Mission, SharedModelMustMatchTheConfig) {
+  const auto config = fast_mission(0.5);
+  const auto floorplan = ch::make_power7_floorplan(config.system.power_spec);
+  brightsi::thermal::ThermalGridSettings grid = config.system.thermal_grid;
+  grid.axial_cells = 4;  // differs from the config's 8
+  auto mismatched = std::make_shared<const brightsi::thermal::ThermalModel>(
+      config.system.stack, floorplan.die_width(), floorplan.die_height(), grid);
+  EXPECT_THROW((void)co::run_mission(config, mismatched), std::invalid_argument);
+}
+
 }  // namespace

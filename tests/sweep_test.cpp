@@ -309,6 +309,43 @@ TEST(SweepCache, CachedAndUncachedRowsByteIdenticalAtAnyThreadCount) {
   EXPECT_EQ(json_of(cached), json_of(sw::SweepRunner(uncached_serial).run(plan)));
 }
 
+TEST(SweepMission, EnduranceRowsByteIdenticalAcrossThreadCounts) {
+  // The mission/endurance acceptance bar: transient missions through the
+  // sweep engine stay byte-identical at 1 and 4 threads. Trimmed to the
+  // first 6 scenarios (both workload kinds, both dt values, including the
+  // non-divisible 0.07 s step) to keep the suite quick.
+  sw::SweepPlan plan = sw::make_registered_plan("mission_endurance");
+  ASSERT_EQ(plan.scenarios.size(), 16u);
+  plan.scenarios.resize(6);
+  const sw::SweepResult serial = sw::SweepRunner({1}).run(plan);
+  const sw::SweepResult parallel = sw::SweepRunner({4}).run(plan);
+  ASSERT_EQ(serial.failure_count(), 0);
+  EXPECT_EQ(csv_of(serial), csv_of(parallel));
+  EXPECT_EQ(json_of(serial), json_of(parallel));
+
+  // Sanity on the rows themselves: steps > 0, the tanks drained, the
+  // supply held on the nominal platform.
+  ASSERT_EQ(serial.metric_names.front(), "steps");
+  for (const sw::ScenarioResult& row : serial.rows) {
+    EXPECT_GT(row.metrics[0], 0.0) << row.name;       // steps
+    EXPECT_LT(row.metrics[1], 0.95) << row.name;      // final_soc below initial
+    EXPECT_GT(row.metrics[3], 0.0) << row.name;       // energy delivered
+    EXPECT_DOUBLE_EQ(row.metrics[5], 1.0) << row.name;  // supply_ok
+  }
+}
+
+TEST(SweepMission, EvaluatorReusesTheWorkerThermalModel) {
+  sw::SweepPlan plan = sw::make_registered_plan("mission_endurance");
+  plan.scenarios.resize(2);  // same thermal structure, different tanks
+  sw::WorkerState worker;
+  const sw::SweepEvaluator evaluator = sw::mission_evaluator();
+  for (const sw::ScenarioSpec& scenario : plan.scenarios) {
+    const co::SystemConfig config = sw::apply_scenario(plan.base, scenario);
+    (void)evaluator.fn(config, scenario, worker);
+  }
+  EXPECT_EQ(worker.thermal_models.build_count(), 1);
+}
+
 TEST(SweepCsv, QuotesCellsWithCommas) {
   sw::SweepPlan plan;
   plan.name = "quoting";

@@ -1,0 +1,192 @@
+// Tests of the shared transient engine: phase-boundary-aligned step
+// scheduling (full trace coverage — no truncated tails), sample
+// decimation, outlet fallbacks, in-place state hand-off equivalence and
+// resumable checkpoints.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "chip/power7.h"
+#include "thermal/stack.h"
+#include "thermal/trace_runner.h"
+#include "thermal/transient.h"
+
+namespace th = brightsi::thermal;
+namespace ch = brightsi::chip;
+
+namespace {
+
+th::ThermalModel make_model(int axial_cells = 8) {
+  th::ThermalModel::GridSettings grid;
+  grid.axial_cells = axial_cells;
+  return th::ThermalModel(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                          ch::kPower7DieHeightM, grid);
+}
+
+th::OperatingPoint nominal_op() {
+  th::OperatingPoint op;
+  op.total_flow_m3_per_s = 676e-6 / 60.0;
+  op.inlet_temperature_k = 300.15;
+  return op;
+}
+
+// ------------------------------------------------------------- scheduling
+
+TEST(TransientSchedule, DivisibleDtCoversTraceExactly) {
+  // 10.0 / 0.1 is 99.999... in floating point; truncation used to drop the
+  // final step. Round-to-nearest must yield exactly 100 steps ending at
+  // exactly 10 s.
+  const auto trace = ch::full_load_trace(10.0);
+  const auto schedule = th::make_transient_schedule(trace, {0.1, true});
+  ASSERT_EQ(schedule.size(), 100u);
+  EXPECT_DOUBLE_EQ(schedule.back().t_end_s, 10.0);
+  for (const th::TransientStep& step : schedule) {
+    EXPECT_NEAR(step.dt_s(), 0.1, 1e-12);
+  }
+}
+
+TEST(TransientSchedule, NonDivisibleDtGetsResidualStep) {
+  const auto trace = ch::full_load_trace(1.0);
+  const auto schedule = th::make_transient_schedule(trace, {0.3, true});
+  ASSERT_EQ(schedule.size(), 4u);  // 0.3, 0.3, 0.3, residual 0.1
+  EXPECT_DOUBLE_EQ(schedule.back().t_end_s, 1.0);
+  EXPECT_NEAR(schedule.back().dt_s(), 0.1, 1e-12);
+  // The steps tile the duration gaplessly.
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_DOUBLE_EQ(schedule[i].t_begin_s, schedule[i - 1].t_end_s);
+  }
+}
+
+TEST(TransientSchedule, OversizedDtShrinksToTheTrace) {
+  const auto trace = ch::full_load_trace(0.2);
+  const auto schedule = th::make_transient_schedule(trace, {1.0, true});
+  ASSERT_EQ(schedule.size(), 1u);
+  EXPECT_DOUBLE_EQ(schedule.front().t_begin_s, 0.0);
+  EXPECT_DOUBLE_EQ(schedule.front().t_end_s, 0.2);
+}
+
+TEST(TransientSchedule, AlignedStepsNeverStraddlePhaseEdges) {
+  // burst_trace phases: 0.6 | 1.2 | 1.2 with dt 0.25 — none divisible.
+  const auto trace = ch::burst_trace(2);
+  const auto schedule = th::make_transient_schedule(trace, {0.25, true});
+  EXPECT_DOUBLE_EQ(schedule.back().t_end_s, trace.total_duration_s());
+  for (const th::TransientStep& step : schedule) {
+    ASSERT_NE(step.phase, nullptr);
+    // The phase at both endpoints' interior matches the step's phase: the
+    // step lies inside exactly one phase.
+    const double eps = 1e-9;
+    EXPECT_EQ(&trace.phase_at(step.t_begin_s + eps), step.phase);
+    EXPECT_EQ(trace.phase_at(step.t_end_s - eps).name, step.phase->name);
+  }
+}
+
+TEST(TransientSchedule, UnalignedScheduleStillCoversTheTrace) {
+  const auto trace = ch::burst_trace(1);  // 3.0 s total
+  const auto schedule = th::make_transient_schedule(trace, {0.25, false});
+  ASSERT_EQ(schedule.size(), 12u);
+  EXPECT_DOUBLE_EQ(schedule.back().t_end_s, 3.0);
+  for (const th::TransientStep& step : schedule) {
+    ASSERT_NE(step.phase, nullptr);
+  }
+}
+
+TEST(TransientSchedule, RejectsBadInputs) {
+  const auto trace = ch::full_load_trace(1.0);
+  EXPECT_THROW((void)th::make_transient_schedule(trace, {0.0, true}),
+               std::invalid_argument);
+  EXPECT_THROW((void)th::make_transient_schedule(trace, {-0.1, true}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------ trace runner
+
+TEST(TraceRunner, FullCoverageWithAwkwardDt) {
+  const auto model = make_model();
+  // 1.0 s at dt 0.3: the old truncating loop recorded 3 samples ending at
+  // 0.9 s; the engine records 4 ending at exactly 1.0 s.
+  const auto result = th::run_thermal_trace(model, ch::Power7PowerSpec{},
+                                            ch::full_load_trace(1.0), nominal_op(), 0.3);
+  ASSERT_EQ(result.samples.size(), 4u);
+  EXPECT_NEAR(result.samples.back().time_s, 1.0, 1e-9);
+  EXPECT_NEAR(result.samples.back().dt_s, 0.1, 1e-12);
+}
+
+TEST(TraceRunner, LongDivisibleTraceKeepsItsTail) {
+  const auto trace = ch::full_load_trace(10.0);
+  const auto schedule = th::make_transient_schedule(trace, {0.1, true});
+  EXPECT_EQ(schedule.size(), 100u);
+  EXPECT_NEAR(schedule.back().t_end_s, trace.total_duration_s(), 1e-9);
+}
+
+TEST(TraceRunner, SolidStackFallsBackToInletOutlet) {
+  // A channel-less (conventional air-cooled) stack has no outlet
+  // temperatures; the sample must fall back to the inlet temperature, not
+  // report 0 K.
+  const th::ThermalModel model(th::power7_conventional_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM);
+  th::OperatingPoint op;
+  op.inlet_temperature_k = 318.15;
+  const auto result = th::run_thermal_trace(model, ch::Power7PowerSpec{},
+                                            ch::full_load_trace(0.2), op, 0.1);
+  ASSERT_FALSE(result.samples.empty());
+  for (const th::TraceSample& sample : result.samples) {
+    EXPECT_DOUBLE_EQ(sample.mean_outlet_k, 318.15);
+  }
+}
+
+TEST(TraceRunner, SampleDecimationKeepsTheTail) {
+  const auto model = make_model();
+  const auto all = th::run_thermal_trace(model, ch::Power7PowerSpec{},
+                                         ch::full_load_trace(1.0), nominal_op(), 0.1);
+  const auto thinned = th::run_thermal_trace(model, ch::Power7PowerSpec{},
+                                             ch::full_load_trace(1.0), nominal_op(), 0.1,
+                                             nullptr, 3);
+  ASSERT_EQ(all.samples.size(), 10u);
+  ASSERT_EQ(thinned.samples.size(), 4u);  // steps 3, 6, 9, plus the final 10th
+  EXPECT_NEAR(thinned.samples.back().time_s, 1.0, 1e-9);
+  // Decimation only drops records: the stepping (and final state) match.
+  EXPECT_DOUBLE_EQ(thinned.max_peak_temperature_k, all.max_peak_temperature_k);
+  ASSERT_EQ(thinned.final_state.size(), all.final_state.size());
+  EXPECT_EQ(thinned.final_state.data(), all.final_state.data());
+}
+
+// --------------------------------------------------------------- engine
+
+TEST(TransientEngine, ResumedRunMatchesSingleRun) {
+  const auto model = make_model();
+  const auto op = nominal_op();
+
+  const auto whole = th::run_thermal_trace(model, ch::Power7PowerSpec{},
+                                           ch::full_load_trace(1.0), op, 0.1);
+  const auto first = th::run_thermal_trace(model, ch::Power7PowerSpec{},
+                                           ch::full_load_trace(0.5), op, 0.1);
+  const auto second = th::run_thermal_trace(model, ch::Power7PowerSpec{},
+                                            ch::full_load_trace(0.5), op, 0.1,
+                                            &first.final_state);
+  // The split run walks the identical step sequence, so fields agree to
+  // solver tolerance.
+  ASSERT_EQ(whole.final_state.size(), second.final_state.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < whole.final_state.size(); ++i) {
+    worst = std::max(worst,
+                     std::abs(whole.final_state.data()[i] - second.final_state.data()[i]));
+  }
+  EXPECT_LT(worst, 1e-3);
+  EXPECT_NEAR(whole.samples.back().peak_temperature_k,
+              second.samples.back().peak_temperature_k, 1e-3);
+}
+
+TEST(TransientEngine, StatsAccumulateAcrossRuns) {
+  const auto model = make_model();
+  th::TransientEngineOptions options;
+  options.schedule.dt_s = 0.1;
+  th::TransientEngine engine(model, nominal_op(), options);
+  const ch::Power7PowerSpec spec;
+  engine.run(ch::full_load_trace(0.3), spec, nullptr);
+  EXPECT_EQ(engine.steps_taken(), 3);
+  engine.run(ch::full_load_trace(0.2), spec, nullptr);
+  EXPECT_EQ(engine.steps_taken(), 5);
+  EXPECT_EQ(engine.thermal_stats().solves, 5);
+}
+
+}  // namespace

@@ -6,6 +6,7 @@
 //   brightsi_sweep <plan> [options]            run a registered plan
 //   brightsi_sweep custom --evaluator <name>
 //       --grid p=v1,v2,... [--grid ...] [--set p=v ...]   ad-hoc sweep
+//       (evaluators: cosim, array, rail, mission)
 //
 // Options:
 //   --threads N     worker threads (default: hardware concurrency)
@@ -38,7 +39,7 @@ int usage(const char* argv0, int exit_code) {
                "usage: %s --list | --params\n"
                "       %s <plan> [--threads N] [--csv FILE] [--json FILE]"
                " [--timing FILE] [--quiet] [--no-reuse]\n"
-               "       %s custom --evaluator cosim|array|rail"
+               "       %s custom --evaluator cosim|array|rail|mission"
                " (--grid p=v1,v2,... | --set p=v)... [options]\n",
                argv0, argv0, argv0);
   return exit_code;
