@@ -10,9 +10,11 @@
 #include "core/report.h"
 #include "electrochem/vanadium.h"
 #include "flowcell/cell_array.h"
+#include "repro/figures.h"
 
 namespace fc = brightsi::flowcell;
 namespace ec = brightsi::electrochem;
+namespace re = brightsi::repro;
 using brightsi::core::TextTable;
 
 namespace {
@@ -37,13 +39,13 @@ void print_reproduction() {
   params.print(std::cout);
 
   std::printf("\n== E3: Fig. 7 array V-I characteristic ==\n");
+  // The rows the golden regression suite pins (tests/golden/fig7.csv).
   TextTable table({"V (V)", "I (A)", "P (W)", "i (A/cm2)"});
   const double area_cm2 =
       spec.geometry.projected_electrode_area_m2() * spec.channel_count * 1e4;
-  for (double v = 1.6; v >= 0.195; v -= 0.1) {
-    const double current = array.current_at_voltage(v);
-    table.add_row({TextTable::num(v, 2), TextTable::num(current, 2),
-                   TextTable::num(current * v, 2), TextTable::num(current / area_cm2, 3)});
+  for (const auto& row : re::fig7_array_vi_table().rows) {
+    table.add_row({TextTable::num(row[0], 2), TextTable::num(row[1], 2),
+                   TextTable::num(row[2], 2), TextTable::num(row[3], 3)});
   }
   table.print(std::cout);
 

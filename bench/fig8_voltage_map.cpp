@@ -10,9 +10,11 @@
 #include "chip/power7.h"
 #include "core/report.h"
 #include "pdn/power_grid.h"
+#include "repro/figures.h"
 
 namespace pd = brightsi::pdn;
 namespace ch = brightsi::chip;
+namespace re = brightsi::repro;
 using brightsi::core::TextTable;
 using brightsi::core::print_ascii_map;
 
@@ -21,10 +23,8 @@ namespace {
 void print_reproduction() {
   const auto floorplan = ch::make_power7_floorplan();
   const pd::PowerGridSpec spec;
-  const pd::PowerGrid grid(spec, floorplan);
-  const auto taps = pd::make_vrm_grid(4, 4, floorplan.die_width(), floorplan.die_height(),
-                                      1.0, 25e-3);
-  const auto sol = grid.solve(taps);
+  // The solution the golden regression suite pins (tests/golden/fig8.csv).
+  const pd::PowerGridSolution sol = re::fig8_voltage_solution();
 
   std::printf("== E5: Fig. 8 cache-rail voltage map ==\n");
   std::printf("mesh %d x %d nodes, sheet %.0f mohm/sq, 4x4 VRM taps @ %0.0f mohm\n",

@@ -9,10 +9,12 @@
 
 #include "chip/power7.h"
 #include "core/report.h"
+#include "repro/figures.h"
 #include "thermal/model.h"
 
 namespace th = brightsi::thermal;
 namespace ch = brightsi::chip;
+namespace re = brightsi::repro;
 using brightsi::core::TextTable;
 using brightsi::core::print_ascii_map;
 
@@ -27,34 +29,29 @@ th::OperatingPoint paper_operating_point() {
 
 void print_reproduction() {
   const auto floorplan = ch::make_power7_floorplan();
-  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
-                               ch::kPower7DieHeightM);
-  const auto sol = model.solve_steady(floorplan, paper_operating_point());
+  // The solution the golden regression suite pins (tests/golden/fig9_*.csv).
+  const th::ThermalSolution sol = re::fig9_thermal_solution();
+  const re::FigureTable summary = re::fig9_thermal_summary(sol);
 
   std::printf("== E6: Fig. 9 full-load thermal map ==\n");
   std::printf("grid %d x %d x %d cells, total power %.1f W, coolant 676 ml/min @ 27 C\n",
-              model.nx(), model.ny(), model.nz(), floorplan.total_power());
+              sol.temperature_k.nx(), sol.temperature_k.ny(), sol.temperature_k.nz(),
+              floorplan.total_power());
 
+  const std::vector<double>& stats = summary.rows.front();
   TextTable table({"quantity", "model", "paper", "unit"});
-  table.add_row({"peak temperature", TextTable::num(sol.peak_temperature_k - 273.15, 1),
-                 "41", "C"});
-  table.add_row({"fluid heat absorbed", TextTable::num(sol.fluid_heat_absorbed_w, 1),
-                 "(all)", "W"});
-  table.add_row({"energy balance error", TextTable::num(sol.energy_balance_error * 100, 4),
-                 "-", "%"});
-  double outlet_mean = 0.0;
-  for (const double t : sol.channel_outlet_k) {
-    outlet_mean += t;
-  }
-  outlet_mean /= static_cast<double>(sol.channel_outlet_k.size());
-  table.add_row({"mean outlet temperature", TextTable::num(outlet_mean - 273.15, 2), "-", "C"});
+  table.add_row({"peak temperature", TextTable::num(stats[1], 1), "41", "C"});
+  table.add_row({"fluid heat absorbed", TextTable::num(stats[2], 1), "(all)", "W"});
+  table.add_row({"energy balance error", TextTable::num(stats[3], 4), "-", "%"});
+  table.add_row({"mean outlet temperature", TextTable::num(stats[4], 2), "-", "C"});
   table.print(std::cout);
 
   std::printf("\nper-block temperatures (C):\n");
+  const re::FigureTable block_table = re::fig9_block_table(sol);
   TextTable blocks({"block", "mean", "max"});
-  for (const auto& bt : sol.block_temperatures) {
-    blocks.add_row({bt.name, TextTable::num(bt.mean_k - 273.15, 1),
-                    TextTable::num(bt.max_k - 273.15, 1)});
+  for (std::size_t b = 0; b < block_table.rows.size(); ++b) {
+    blocks.add_row({block_table.labels[b], TextTable::num(block_table.rows[b][0], 1),
+                    TextTable::num(block_table.rows[b][1], 1)});
   }
   blocks.print(std::cout);
 

@@ -1,0 +1,138 @@
+// Optimizer throughput: the channel-geometry study driven through the
+// batch-evaluation session — the unit of work of every optimization
+// generation. Measures candidate evaluations per second and the
+// structure-cache hit split (candidates that reused a worker's assembled
+// thermal model vs fresh builds).
+//
+// Prints a human-readable summary and writes a machine-readable
+// BENCH_opt.json uploaded by the CI release-bench job next to
+// BENCH_cosim.json and BENCH_mission.json. A non-flag first argument
+// overrides the JSON path.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include <benchmark/benchmark.h>
+
+#include "opt/studies.h"
+
+namespace op = brightsi::opt;
+namespace sw = brightsi::sweep;
+
+namespace {
+
+struct Measurement {
+  long long evaluations = 0;
+  double wall_s = 0.0;
+  int model_builds = 0;
+  int passes = 0;
+  double best_net_w = 0.0;
+  double best_peak_t_c = 0.0;
+
+  [[nodiscard]] double evaluations_per_s() const {
+    return wall_s > 0.0 ? static_cast<double>(evaluations) / wall_s : 0.0;
+  }
+  [[nodiscard]] double cache_hit_fraction() const {
+    return evaluations > 0
+               ? static_cast<double>(evaluations - model_builds) /
+                     static_cast<double>(evaluations)
+               : 0.0;
+  }
+};
+
+Measurement measure_study(int budget) {
+  const op::Study study = op::make_registered_study("channel_geometry");
+  op::OptimizerOptions options;
+  options.budget = budget;
+
+  const auto start = std::chrono::steady_clock::now();
+  const op::OptResult result = op::optimize(study, options);
+  Measurement m;
+  m.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  m.evaluations = result.evaluations();
+  m.model_builds = result.model_builds;
+  m.passes = result.passes;
+  if (const sw::ScenarioResult* best = result.best()) {
+    m.best_net_w = best->metrics[4];     // net_w
+    m.best_peak_t_c = best->metrics[5];  // peak_t_c
+  }
+  return m;
+}
+
+void write_json(const char* path, const Measurement& m) {
+  std::FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(file,
+               "{\n"
+               "  \"bench\": \"opt_throughput\",\n"
+               "  \"study\": \"channel_geometry\",\n"
+               "  \"evaluations\": %lld,\n"
+               "  \"wall_s\": %.6f,\n"
+               "  \"evaluations_per_s\": %.4f,\n"
+               "  \"model_builds\": %d,\n"
+               "  \"cache_hits\": %lld,\n"
+               "  \"cache_hit_fraction\": %.4f,\n"
+               "  \"refinement_passes\": %d,\n"
+               "  \"best_net_w\": %.6f,\n"
+               "  \"best_peak_t_c\": %.6f\n"
+               "}\n",
+               m.evaluations, m.wall_s, m.evaluations_per_s(), m.model_builds,
+               m.evaluations - m.model_builds, m.cache_hit_fraction(), m.passes,
+               m.best_net_w, m.best_peak_t_c);
+  std::fclose(file);
+  std::printf("wrote %s\n", path);
+}
+
+void print_reproduction(const char* json_path) {
+  const Measurement m = measure_study(/*budget=*/48);
+  std::printf("== opt throughput: channel_geometry study, budget 48 ==\n");
+  std::printf("%lld evaluations in %.3f s -> %.2f evaluations/s (%d refinement passes)\n",
+              m.evaluations, m.wall_s, m.evaluations_per_s(), m.passes);
+  std::printf("structure cache: %d builds, %lld hits (%.0f%% hit rate)\n",
+              m.model_builds, m.evaluations - m.model_builds,
+              100.0 * m.cache_hit_fraction());
+  std::printf("best design: net %.3f W at peak %.2f C\n\n", m.best_net_w, m.best_peak_t_c);
+  write_json(json_path, m);
+}
+
+void bm_batch_generation(benchmark::State& state) {
+  const op::Study study = op::make_registered_study("channel_geometry");
+  sw::BatchEvaluationSession session(study.base, study.evaluator,
+                                     {static_cast<int>(state.range(0)), true});
+  // One axis generation: 8 flow candidates around the center point.
+  std::vector<sw::ScenarioSpec> candidates;
+  for (int i = 0; i < 8; ++i) {
+    sw::ScenarioSpec spec;
+    spec.name = "candidate " + std::to_string(i);
+    spec.set("channel_gap_um", 250.0);
+    spec.set("channel_height_um", 500.0);
+    spec.set("flow_ml_min", 100.0 + 200.0 * i);
+    spec.set("inlet_c", 40.0);
+    candidates.push_back(std::move(spec));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.evaluate(candidates));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(candidates.size()));
+}
+BENCHMARK(bm_batch_generation)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = "BENCH_opt.json";
+  if (argc > 1 && std::strncmp(argv[1], "--", 2) != 0) {
+    json_path = argv[1];
+    for (int i = 1; i + 1 < argc; ++i) {
+      argv[i] = argv[i + 1];
+    }
+    --argc;
+  }
+  print_reproduction(json_path);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -189,14 +189,8 @@ CoSimReport IntegratedMpsocSystem::run() const {
 
   report.peak_temperature_c =
       ec::constants::kelvin_to_celsius(report.thermal.peak_temperature_k);
-  if (!report.thermal.channel_outlet_k.empty()) {
-    double sum = 0.0;
-    for (const double t : report.thermal.channel_outlet_k) {
-      sum += t;
-    }
-    report.mean_coolant_outlet_c = ec::constants::kelvin_to_celsius(
-        sum / static_cast<double>(report.thermal.channel_outlet_k.size()));
-  }
+  report.mean_coolant_outlet_c = ec::constants::kelvin_to_celsius(
+      report.thermal.mean_outlet_k(config_.array_spec.inlet_temperature_k));
 
   // Cache-rail IR-drop map (Fig. 8) with the calibrated tap grid.
   const auto taps = pdn::make_vrm_grid(

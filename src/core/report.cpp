@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
+#include <iostream>
 #include <sstream>
 
 #include "numerics/contracts.h"
@@ -133,6 +134,20 @@ void write_table_csv(std::ostream& os, const std::vector<std::string>& headers,
   }
 }
 
+std::string format_shortest(double value) {
+  // %.17g round-trips every double, but prefer the shortest form that still
+  // parses back to the same value so emitted tables stay readable.
+  char buffer[40];
+  for (const int precision : {9, 12, 17}) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    double parsed = 0.0;
+    if (std::sscanf(buffer, "%lf", &parsed) == 1 && parsed == value) {
+      break;
+    }
+  }
+  return buffer;
+}
+
 std::string json_escape(const std::string& text) {
   std::string escaped;
   escaped.reserve(text.size());
@@ -233,6 +248,22 @@ std::string write_results_file(const std::string& name,
   } catch (const std::filesystem::filesystem_error&) {
     return {};
   }
+}
+
+bool emit_to_sink(const std::string& path, const char* what,
+                  const std::function<void(std::ostream&)>& writer) {
+  if (path == "-") {
+    writer(std::cout);
+    return true;
+  }
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot open %s file '%s'\n", what, path.c_str());
+    return false;
+  }
+  writer(file);
+  std::fprintf(stderr, "wrote %s to %s\n", what, path.c_str());
+  return true;
 }
 
 }  // namespace brightsi::core

@@ -42,6 +42,11 @@ void write_table_csv(std::ostream& os, const std::vector<std::string>& headers,
 /// added).
 [[nodiscard]] std::string json_escape(const std::string& text);
 
+/// Shortest decimal representation that parses back to exactly `value` —
+/// the cell formatting shared by the sweep/opt emitters and the golden
+/// figure tables.
+[[nodiscard]] std::string format_shortest(double value);
+
 /// Writes a JSON array of records: one object per row keyed by `headers`.
 /// Cells flagged in `numeric` are emitted raw (caller guarantees they are
 /// valid JSON numbers, or empty — emitted as null); others are quoted and
@@ -56,6 +61,13 @@ void write_records_json(std::ostream& os, const std::vector<std::string>& header
 /// (benches treat artifacts as best-effort).
 std::string write_results_file(const std::string& name,
                                const std::function<void(std::ostream&)>& writer);
+
+/// CLI sink helper shared by the tools/ drivers: writes through `writer`
+/// to stdout when `path` is "-", else to the file at `path` (with a
+/// "wrote <what> to <path>" note on stderr). Returns false — after an
+/// error message — when the file cannot be opened.
+bool emit_to_sink(const std::string& path, const char* what,
+                  const std::function<void(std::ostream&)>& writer);
 
 /// A minimal fixed-width table printer.
 class TextTable {

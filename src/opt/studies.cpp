@@ -1,0 +1,115 @@
+#include "opt/studies.h"
+
+#include <stdexcept>
+
+#include "sweep/evaluators.h"
+
+namespace brightsi::opt {
+
+namespace {
+
+/// The paper's T_max <= 360 K junction cap, in the evaluators' Celsius
+/// metric.
+constexpr double kPeakCapC = 360.0 - 273.15;
+
+MetricConstraint peak_temperature_cap() {
+  MetricConstraint cap;
+  cap.metric = "peak_t_c";
+  cap.max = kPeakCapC;
+  return cap;
+}
+
+/// Channel sizing + operating point against deliverable net power, under
+/// the junction-temperature cap: the searchable counterpart of the
+/// ablation_geometry sweep plan (same array design-point metrics, plus the
+/// steady thermal solve that prices each candidate's peak temperature).
+Study channel_geometry_study() {
+  Study study;
+  study.name = "channel_geometry";
+  study.summary =
+      "channel gap/height, flow and inlet-T vs net power, T_peak <= 360 K cap";
+  study.base = core::power7_system_config();
+  study.base.thermal_grid.axial_cells = 16;
+  study.evaluator = sweep::array_thermal_evaluator();
+  study.objective = maximize_metric("net_w");
+  study.objective.constraints.push_back(peak_temperature_cap());
+  study.objective.pareto_maximize = "net_w";
+  study.objective.pareto_minimize = "peak_t_c";
+  study.parameters = {
+      {"channel_gap_um", 100.0, 400.0, false},
+      {"channel_height_um", 200.0, 800.0, false},
+      {"flow_ml_min", 48.0, 2000.0, false},
+      {"inlet_c", 27.0, 60.0, false},
+  };
+  return study;
+}
+
+/// Flow rate and inlet temperature through the full co-simulation: net
+/// power after pumping and VRM losses, peak temperature capped — the
+/// searchable operating_grid.
+Study flow_rate_study() {
+  Study study;
+  study.name = "flow_rate";
+  study.summary =
+      "co-simulated flow x inlet-T vs net power, T_peak <= 360 K cap (Pareto front)";
+  study.base = core::power7_system_config();
+  study.base.thermal_grid.axial_cells = 16;
+  study.evaluator = sweep::cosim_evaluator();
+  study.objective = maximize_metric("net_w");
+  study.objective.constraints.push_back(peak_temperature_cap());
+  study.objective.pareto_maximize = "net_w";
+  study.objective.pareto_minimize = "peak_t_c";
+  study.parameters = {
+      {"flow_ml_min", 48.0, 2000.0, false},
+      {"inlet_c", 27.0, 60.0, false},
+  };
+  return study;
+}
+
+/// VRM population sizing on the cache rail: worst-case rail voltage vs tap
+/// count and per-tap output resistance (integer tap grid).
+Study vrm_placement_study() {
+  Study study;
+  study.name = "vrm_placement";
+  study.summary =
+      "VRM tap grid and output resistance vs cache-rail integrity (min rail V)";
+  study.base = core::power7_system_config();
+  study.evaluator = sweep::rail_integrity_evaluator();
+  study.objective = maximize_metric("rail_min_v");
+  study.objective.pareto_maximize = "rail_min_v";
+  study.objective.pareto_minimize = "tap_count";
+  study.parameters = {
+      {"vrm_grid_n", 1.0, 8.0, true},
+      {"vrm_r_mohm", 5.0, 100.0, false},
+  };
+  return study;
+}
+
+}  // namespace
+
+const std::vector<StudyDescription>& registered_studies() {
+  static const std::vector<StudyDescription> studies = {
+      {"channel_geometry",
+       "channel gap/height, flow and inlet-T vs net power under the 360 K cap"},
+      {"flow_rate",
+       "co-simulated flow x inlet-T operating point; net power vs peak-T Pareto front"},
+      {"vrm_placement",
+       "VRM tap grid and output resistance vs cache-rail integrity"},
+  };
+  return studies;
+}
+
+Study make_registered_study(const std::string& name) {
+  if (name == "channel_geometry") {
+    return channel_geometry_study();
+  }
+  if (name == "flow_rate") {
+    return flow_rate_study();
+  }
+  if (name == "vrm_placement") {
+    return vrm_placement_study();
+  }
+  throw std::invalid_argument("unknown optimization study: " + name);
+}
+
+}  // namespace brightsi::opt

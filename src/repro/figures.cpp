@@ -1,0 +1,229 @@
+#include "repro/figures.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "chip/power7.h"
+#include "core/report.h"
+#include "electrochem/vanadium.h"
+#include "flowcell/cell_array.h"
+#include "flowcell/colaminar_fvm.h"
+#include "flowcell/reference_data.h"
+
+namespace brightsi::repro {
+
+namespace fc = flowcell;
+namespace ec = electrochem;
+namespace th = thermal;
+namespace pd = pdn;
+namespace ch = chip;
+
+FigureTable fig3_polarization_table() {
+  const fc::ColaminarChannelModel model(fc::kjeang2007_geometry(),
+                                        ec::kjeang2007_validation_chemistry());
+  FigureTable table;
+  table.columns = {"flow_ul_per_min", "cell_voltage_v", "model_ma_per_cm2",
+                   "reference_ma_per_cm2", "error_pct"};
+  for (const fc::ReferenceCurve& curve : fc::fig3_reference_curves()) {
+    fc::ChannelOperatingConditions conditions;
+    conditions.volumetric_flow_m3_per_s = curve.flow_rate_ul_per_min * 1e-9 / 60.0;
+    conditions.inlet_temperature_k = 300.0;
+    for (const fc::ReferencePoint& point : curve.points) {
+      const auto solution = model.solve_at_voltage(point.cell_voltage_v, conditions);
+      const double model_ma_per_cm2 = solution.mean_current_density_a_per_m2 / 10.0;
+      const double error_pct = 100.0 *
+                               (model_ma_per_cm2 - point.current_density_ma_per_cm2) /
+                               point.current_density_ma_per_cm2;
+      table.rows.push_back({curve.flow_rate_ul_per_min, point.cell_voltage_v,
+                            model_ma_per_cm2, point.current_density_ma_per_cm2, error_pct});
+    }
+  }
+  return table;
+}
+
+double fig3_worst_error_pct(const FigureTable& table) {
+  double worst = 0.0;
+  for (const std::vector<double>& row : table.rows) {
+    worst = std::max(worst, std::abs(row.back()));
+  }
+  return worst;
+}
+
+FigureTable fig7_array_vi_table() {
+  const fc::ArraySpec spec = fc::power7_array_spec();
+  const fc::FlowCellArray array(spec, ec::power7_array_chemistry());
+  const double area_cm2 =
+      spec.geometry.projected_electrode_area_m2() * spec.channel_count * 1e4;
+  FigureTable table;
+  table.columns = {"cell_voltage_v", "current_a", "power_w", "current_density_a_per_cm2"};
+  for (int i = 0; i <= 14; ++i) {
+    const double v = 1.6 - 0.1 * i;  // 1.6 V down to 0.2 V, the Fig. 7 axis
+    const double current = array.current_at_voltage(v);
+    table.rows.push_back({v, current, current * v, current / area_cm2});
+  }
+  return table;
+}
+
+pdn::PowerGridSolution fig8_voltage_solution() {
+  const ch::Floorplan floorplan = ch::make_power7_floorplan();
+  const pd::PowerGrid grid(pd::PowerGridSpec{}, floorplan);
+  const auto taps = pd::make_vrm_grid(4, 4, floorplan.die_width(), floorplan.die_height(),
+                                      1.0, 25e-3);
+  return grid.solve(taps);
+}
+
+FigureTable fig8_voltage_summary(const pdn::PowerGridSolution& solution) {
+  FigureTable table;
+  table.columns = {"total_load_a", "total_supply_a", "min_v",       "max_v",
+                   "mean_v",       "worst_drop_v",   "ohmic_loss_w"};
+  table.rows.push_back({solution.total_load_current_a, solution.total_supply_current_a,
+                        solution.min_voltage_v, solution.max_voltage_v,
+                        solution.mean_voltage_v, solution.worst_drop_v,
+                        solution.ohmic_loss_w});
+  return table;
+}
+
+FigureTable fig8_voltage_summary_table() {
+  return fig8_voltage_summary(fig8_voltage_solution());
+}
+
+/// The Fig. 9 operating point: Table II flow at a 27 C inlet.
+constexpr double kFig9InletK = 300.15;
+
+thermal::ThermalSolution fig9_thermal_solution() {
+  const ch::Floorplan floorplan = ch::make_power7_floorplan();
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM);
+  th::OperatingPoint operating_point;
+  operating_point.total_flow_m3_per_s = 676e-6 / 60.0;  // Table II
+  operating_point.inlet_temperature_k = kFig9InletK;
+  return model.solve_steady(floorplan, operating_point);
+}
+
+FigureTable fig9_thermal_summary(const thermal::ThermalSolution& solution) {
+  FigureTable table;
+  table.columns = {"total_power_w", "peak_c", "fluid_heat_w", "energy_balance_pct",
+                   "outlet_mean_c"};
+  table.rows.push_back({ch::make_power7_floorplan().total_power(),
+                        solution.peak_temperature_k - 273.15,
+                        solution.fluid_heat_absorbed_w,
+                        solution.energy_balance_error * 100.0,
+                        solution.mean_outlet_k(kFig9InletK) - 273.15});
+  return table;
+}
+
+FigureTable fig9_block_table(const thermal::ThermalSolution& solution) {
+  FigureTable table;
+  table.label_column = "block";
+  table.columns = {"mean_c", "max_c"};
+  for (const th::BlockTemperature& block : solution.block_temperatures) {
+    table.labels.push_back(block.name);
+    table.rows.push_back({block.mean_k - 273.15, block.max_k - 273.15});
+  }
+  return table;
+}
+
+void write_figure_csv(std::ostream& os, const FigureTable& table) {
+  std::vector<std::string> headers;
+  if (!table.label_column.empty()) {
+    headers.push_back(table.label_column);
+  }
+  headers.insert(headers.end(), table.columns.begin(), table.columns.end());
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(table.rows.size());
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    std::vector<std::string> cells;
+    if (!table.label_column.empty()) {
+      cells.push_back(table.labels[r]);
+    }
+    for (const double value : table.rows[r]) {
+      cells.push_back(core::format_shortest(value));
+    }
+    rows.push_back(std::move(cells));
+  }
+  core::write_table_csv(os, headers, rows);
+}
+
+FigureTable read_figure_csv(std::istream& is, bool has_label_column) {
+  // RFC-4180-aware split, mirroring write_table_csv's quoting: a cell
+  // starting with '"' runs to the closing quote, with "" as an escaped
+  // quote — so a label containing commas or quotes round-trips.
+  const auto split = [](const std::string& line) {
+    std::vector<std::string> cells;
+    std::size_t i = 0;
+    while (true) {
+      std::string cell;
+      if (i < line.size() && line[i] == '"') {
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '"' && i + 1 < line.size() && line[i + 1] == '"') {
+            cell += '"';
+            i += 2;
+          } else if (line[i] == '"') {
+            ++i;
+            break;
+          } else {
+            cell += line[i++];
+          }
+        }
+      } else {
+        while (i < line.size() && line[i] != ',') {
+          cell += line[i++];
+        }
+      }
+      cells.push_back(std::move(cell));
+      if (i >= line.size()) {
+        break;
+      }
+      ++i;  // skip the comma
+    }
+    return cells;
+  };
+
+  FigureTable table;
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("figure CSV: empty input");
+  }
+  std::vector<std::string> headers = split(line);
+  if (headers.empty() || (has_label_column && headers.size() < 2)) {
+    throw std::runtime_error("figure CSV: missing header columns");
+  }
+  if (has_label_column) {
+    table.label_column = headers.front();
+    headers.erase(headers.begin());
+  }
+  table.columns = headers;
+
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::vector<std::string> cells = split(line);
+    if (cells.size() != table.columns.size() + (has_label_column ? 1 : 0)) {
+      throw std::runtime_error("figure CSV: ragged row: " + line);
+    }
+    if (has_label_column) {
+      table.labels.push_back(cells.front());
+      cells.erase(cells.begin());
+    }
+    std::vector<double> row;
+    for (const std::string& cell : cells) {
+      try {
+        std::size_t consumed = 0;
+        row.push_back(std::stod(cell, &consumed));
+        if (consumed != cell.size()) {
+          throw std::invalid_argument(cell);
+        }
+      } catch (const std::exception&) {
+        throw std::runtime_error("figure CSV: non-numeric cell '" + cell + "' in: " + line);
+      }
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace brightsi::repro

@@ -1,0 +1,76 @@
+// Library-level reproductions of the paper's figure computations, shared
+// by the bench/ reproduction programs and the golden regression suite
+// (tests/golden_test.cpp). Each helper returns a FigureTable — a numeric
+// table with named columns — whose values are exactly what the benches
+// print and what tests/golden/*.csv pins with per-column tolerances, so a
+// physics regression fails ctest instead of drifting silently in bench
+// output.
+#ifndef BRIGHTSI_REPRO_FIGURES_H
+#define BRIGHTSI_REPRO_FIGURES_H
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "pdn/power_grid.h"
+#include "thermal/model.h"
+
+namespace brightsi::repro {
+
+/// A numeric table with named columns and an optional leading label
+/// column — the unit of the golden regression suite.
+struct FigureTable {
+  std::string label_column;          ///< header of the label column; empty = none
+  std::vector<std::string> columns;  ///< numeric column names
+  std::vector<std::string> labels;   ///< one per row when label_column is set
+  std::vector<std::vector<double>> rows;
+};
+
+/// Fig. 3: the Kjeang-2007 validation cell's polarization curves against
+/// the embedded reference dataset. One row per reference point:
+/// flow_ul_per_min, cell_voltage_v, model_ma_per_cm2, reference_ma_per_cm2,
+/// error_pct.
+[[nodiscard]] FigureTable fig3_polarization_table();
+
+/// Largest |error_pct| of a fig3 table, in percent — the paper's
+/// "within 10 %" validation claim.
+[[nodiscard]] double fig3_worst_error_pct(const FigureTable& table);
+
+/// Fig. 7: V-I characteristic of the 88-channel POWER7+ array, 1.6 V down
+/// to 0.2 V in 0.1 V steps: cell_voltage_v, current_a, power_w,
+/// current_density_a_per_cm2.
+[[nodiscard]] FigureTable fig7_array_vi_table();
+
+/// Fig. 8: the cache-rail voltage map at the paper's 4x4 VRM population
+/// (25 mohm taps, 1 V set point).
+[[nodiscard]] pdn::PowerGridSolution fig8_voltage_solution();
+/// Single-row summary of a fig8 solution: total_load_a, total_supply_a,
+/// min_v, max_v, mean_v, worst_drop_v, ohmic_loss_w.
+[[nodiscard]] FigureTable fig8_voltage_summary(const pdn::PowerGridSolution& solution);
+[[nodiscard]] FigureTable fig8_voltage_summary_table();
+
+/// Fig. 9: the full-load thermal map at 676 ml/min, 27 C inlet (the
+/// paper's Table II operating point). The solve is the most expensive
+/// computation here, so callers run it once and hand the solution to the
+/// two table extractors.
+[[nodiscard]] thermal::ThermalSolution fig9_thermal_solution();
+/// Single-row summary of a fig9 solution: total_power_w, peak_c,
+/// fluid_heat_w, energy_balance_pct, outlet_mean_c.
+[[nodiscard]] FigureTable fig9_thermal_summary(const thermal::ThermalSolution& solution);
+/// Per-floorplan-block temperatures of a fig9 solution: label column
+/// "block", columns mean_c, max_c.
+[[nodiscard]] FigureTable fig9_block_table(const thermal::ThermalSolution& solution);
+
+/// Writes the table as CSV: header row (label column first when present),
+/// then one row per entry, numeric cells in shortest-round-trip form.
+void write_figure_csv(std::ostream& os, const FigureTable& table);
+
+/// Parses a CSV written by write_figure_csv. `has_label_column` tells the
+/// reader whether the first column holds labels. Throws std::runtime_error
+/// on a malformed table (ragged rows, non-numeric cells, empty input).
+[[nodiscard]] FigureTable read_figure_csv(std::istream& is, bool has_label_column);
+
+}  // namespace brightsi::repro
+
+#endif  // BRIGHTSI_REPRO_FIGURES_H

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "chip/power7.h"
 #include "core/cosim.h"
 #include "core/mission.h"
 #include "flowcell/cell_array.h"
 #include "hydraulics/pump.h"
 #include "pdn/power_grid.h"
 #include "sweep/scenario.h"
+#include "thermal/model.h"
 
 namespace brightsi::sweep {
 
@@ -97,6 +99,29 @@ SweepEvaluator array_power_evaluator() {
   return evaluator;
 }
 
+SweepEvaluator array_thermal_evaluator() {
+  SweepEvaluator evaluator;
+  evaluator.name = "array_thermal";
+  evaluator.metrics = {"current_1v_a", "power_density_w_cm2", "dp_bar", "pump_w",
+                       "net_w",        "peak_t_c",            "coolant_out_c"};
+  evaluator.fn = [array = array_power_evaluator()](const core::SystemConfig& config,
+                                                   const ScenarioSpec& scenario,
+                                                   WorkerState& worker) {
+    std::vector<double> metrics = array.fn(config, scenario, worker);
+
+    const auto model = worker.thermal_models.model_for(config, scenario);
+    thermal::OperatingPoint op;
+    op.total_flow_m3_per_s = config.array_spec.total_flow_m3_per_s;
+    op.inlet_temperature_k = config.array_spec.inlet_temperature_k;
+    const thermal::ThermalSolution sol =
+        model->solve_steady(chip::make_power7_floorplan(config.power_spec), op);
+    metrics.push_back(sol.peak_temperature_k - 273.15);
+    metrics.push_back(sol.mean_outlet_k(op.inlet_temperature_k) - 273.15);
+    return metrics;
+  };
+  return evaluator;
+}
+
 SweepEvaluator rail_integrity_evaluator() {
   SweepEvaluator evaluator;
   evaluator.name = "rail";
@@ -179,6 +204,9 @@ SweepEvaluator make_evaluator(const std::string& name) {
   if (name == "array") {
     return array_power_evaluator();
   }
+  if (name == "array_thermal") {
+    return array_thermal_evaluator();
+  }
   if (name == "rail") {
     return rail_integrity_evaluator();
   }
@@ -186,7 +214,7 @@ SweepEvaluator make_evaluator(const std::string& name) {
     return mission_evaluator();
   }
   throw std::invalid_argument("unknown evaluator: " + name +
-                              " (expected cosim, array, rail or mission)");
+                              " (expected cosim, array, array_thermal, rail or mission)");
 }
 
 }  // namespace brightsi::sweep

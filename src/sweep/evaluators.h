@@ -39,6 +39,14 @@ struct SweepEvaluator {
 /// ablation_geometry bench columns.
 [[nodiscard]] SweepEvaluator array_power_evaluator();
 
+/// The array design point plus a steady conjugate thermal solve at the
+/// scenario's operating point (worker's cached thermal model): the array
+/// metrics extended with peak die and mean coolant-outlet temperature.
+/// This is the oracle of the channel-geometry optimization study — net
+/// power comparable to the array evaluator, temperatures available for
+/// hard caps like T_peak <= 360 K.
+[[nodiscard]] SweepEvaluator array_thermal_evaluator();
+
 /// Cache-rail integrity for a VRM population: solves the PDN with either a
 /// distributed tap grid (vrm_count_x x vrm_count_y) or, when the scenario
 /// sets edge_taps_per_side, the conventional edge-fed baseline.
@@ -52,8 +60,8 @@ struct SweepEvaluator {
 /// scenarios that share thermal structure.
 [[nodiscard]] SweepEvaluator mission_evaluator();
 
-/// Built-in evaluator by name ("cosim", "array", "rail", "mission");
-/// throws std::invalid_argument on anything else.
+/// Built-in evaluator by name ("cosim", "array", "array_thermal", "rail",
+/// "mission"); throws std::invalid_argument on anything else.
 [[nodiscard]] SweepEvaluator make_evaluator(const std::string& name);
 
 }  // namespace brightsi::sweep

@@ -12,21 +12,6 @@ namespace brightsi::sweep {
 
 namespace {
 
-/// Shortest exact decimal representation: %.17g round-trips every double,
-/// but prefer the shortest form that still parses back to the same value so
-/// CSV/JSON stay readable.
-std::string format_metric(double value) {
-  char buffer[40];
-  for (const int precision : {9, 12, 17}) {
-    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
-    double parsed = 0.0;
-    if (std::sscanf(buffer, "%lf", &parsed) == 1 && parsed == value) {
-      break;
-    }
-  }
-  return buffer;
-}
-
 /// Ordered union of override names across scenarios (first appearance
 /// wins) — the override column set of the result table.
 std::vector<std::string> collect_override_names(const SweepPlan& plan) {
@@ -49,9 +34,65 @@ std::vector<std::string> collect_override_names(const SweepPlan& plan) {
   return names;
 }
 
-/// One result row as formatted cells: name, overrides (blank when unset),
-/// metrics (blank on failure), error.
-std::vector<std::string> format_row(const SweepResult& result, const ScenarioResult& row) {
+/// Shared worker loop of SweepRunner::run and BatchEvaluationSession:
+/// evaluates `scenarios` against `base`, writing rows in scenario order.
+/// Spawns one thread per entry of `workers` (capped by the scenario
+/// count); thread t carries workers[t], so a persistent `workers` vector
+/// keeps its structure caches across calls.
+void evaluate_scenarios(const core::SystemConfig& base, const SweepEvaluator& evaluator,
+                        const std::vector<ScenarioSpec>& scenarios,
+                        std::vector<ScenarioResult>& rows, std::vector<WorkerState>& workers) {
+  rows.resize(scenarios.size());
+  std::atomic<std::size_t> next{0};
+  auto worker = [&](WorkerState& state) {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= scenarios.size()) {
+        return;
+      }
+      const ScenarioSpec& scenario = scenarios[i];
+      ScenarioResult& row = rows[i];
+      row.name = scenario.name;
+      row.overrides = scenario.overrides;
+      const auto start = std::chrono::steady_clock::now();
+      try {
+        const core::SystemConfig config = apply_scenario(base, scenario);
+        config.validate();
+        row.metrics = evaluator.fn(config, scenario, state);
+        if (row.metrics.size() != evaluator.metrics.size()) {
+          throw std::logic_error("evaluator '" + evaluator.name +
+                                 "' returned a mismatched metric count");
+        }
+      } catch (const std::exception& e) {
+        row.failed = true;
+        row.error = e.what();
+        row.metrics.assign(evaluator.metrics.size(), 0.0);
+      }
+      row.elapsed_s = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start).count();
+    }
+  };
+
+  const std::size_t thread_count = std::min(workers.size(), scenarios.size());
+  std::vector<std::thread> pool;
+  pool.reserve(thread_count > 0 ? thread_count - 1 : 0);
+  for (std::size_t t = 1; t < thread_count; ++t) {
+    pool.emplace_back(worker, std::ref(workers[t]));
+  }
+  if (!workers.empty()) {
+    worker(workers[0]);  // this thread participates
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+}
+
+}  // namespace
+
+std::string format_sweep_value(double value) { return core::format_shortest(value); }
+
+std::vector<std::string> format_sweep_row(const SweepResult& result,
+                                          const ScenarioResult& row) {
   std::vector<std::string> cells;
   cells.reserve(1 + result.override_names.size() + result.metric_names.size() + 1);
   cells.push_back(row.name);
@@ -59,20 +100,20 @@ std::vector<std::string> format_row(const SweepResult& result, const ScenarioRes
     std::string cell;
     for (const auto& [name, value] : row.overrides) {
       if (name == param) {
-        cell = format_metric(value);
+        cell = format_sweep_value(value);
         break;
       }
     }
     cells.push_back(std::move(cell));
   }
   for (std::size_t m = 0; m < result.metric_names.size(); ++m) {
-    cells.push_back(row.failed ? std::string() : format_metric(row.metrics[m]));
+    cells.push_back(row.failed ? std::string() : format_sweep_value(row.metrics[m]));
   }
   cells.push_back(row.failed ? row.error : std::string());
   return cells;
 }
 
-std::vector<std::string> result_headers(const SweepResult& result) {
+std::vector<std::string> sweep_row_headers(const SweepResult& result) {
   std::vector<std::string> headers;
   headers.reserve(1 + result.override_names.size() + result.metric_names.size() + 1);
   headers.push_back("scenario");
@@ -81,8 +122,6 @@ std::vector<std::string> result_headers(const SweepResult& result) {
   headers.push_back("error");
   return headers;
 }
-
-}  // namespace
 
 int SweepResult::failure_count() const {
   int failures = 0;
@@ -96,15 +135,17 @@ double SweepResult::scenarios_per_second() const {
   return wall_time_s > 0.0 ? static_cast<double>(rows.size()) / wall_time_s : 0.0;
 }
 
-SweepRunner::SweepRunner(SweepOptions options) : options_(options) {}
-
-int SweepRunner::resolved_thread_count() const {
-  if (options_.thread_count > 0) {
-    return options_.thread_count;
+int resolve_thread_count(const SweepOptions& options) {
+  if (options.thread_count > 0) {
+    return options.thread_count;
   }
   const unsigned hardware = std::thread::hardware_concurrency();
   return hardware > 0 ? static_cast<int>(hardware) : 1;
 }
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(options) {}
+
+int SweepRunner::resolved_thread_count() const { return resolve_thread_count(options_); }
 
 SweepResult SweepRunner::run(const SweepPlan& plan) const {
   if (!plan.evaluator.fn) {
@@ -116,74 +157,60 @@ SweepResult SweepRunner::run(const SweepPlan& plan) const {
   result.metric_names = plan.evaluator.metrics;
   result.override_names = collect_override_names(plan);
   result.thread_count = resolved_thread_count();
-  result.rows.resize(plan.scenarios.size());
 
   const auto sweep_start = std::chrono::steady_clock::now();
-  std::atomic<std::size_t> next{0};
-  auto worker = [&]() {
-    WorkerState state(options_.reuse_structures);
-    while (true) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= plan.scenarios.size()) {
-        return;
-      }
-      const ScenarioSpec& scenario = plan.scenarios[i];
-      ScenarioResult& row = result.rows[i];
-      row.name = scenario.name;
-      row.overrides = scenario.overrides;
-      const auto start = std::chrono::steady_clock::now();
-      try {
-        const core::SystemConfig config = apply_scenario(plan.base, scenario);
-        config.validate();
-        row.metrics = plan.evaluator.fn(config, scenario, state);
-        if (row.metrics.size() != plan.evaluator.metrics.size()) {
-          throw std::logic_error("evaluator '" + plan.evaluator.name +
-                                 "' returned a mismatched metric count");
-        }
-      } catch (const std::exception& e) {
-        row.failed = true;
-        row.error = e.what();
-        row.metrics.assign(plan.evaluator.metrics.size(), 0.0);
-      }
-      row.elapsed_s = std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - start).count();
-    }
-  };
-
-  const int workers =
-      static_cast<int>(std::min<std::size_t>(result.thread_count, plan.scenarios.size()));
-  std::vector<std::thread> pool;
-  pool.reserve(workers > 0 ? workers - 1 : 0);
-  for (int t = 1; t < workers; ++t) {
-    pool.emplace_back(worker);
-  }
-  worker();  // this thread participates
-  for (std::thread& t : pool) {
-    t.join();
-  }
+  std::vector<WorkerState> workers(static_cast<std::size_t>(result.thread_count),
+                                   WorkerState(options_.reuse_structures));
+  evaluate_scenarios(plan.base, plan.evaluator, plan.scenarios, result.rows, workers);
   result.wall_time_s = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - sweep_start).count();
   return result;
+}
+
+BatchEvaluationSession::BatchEvaluationSession(core::SystemConfig base,
+                                               SweepEvaluator evaluator, SweepOptions options)
+    : base_(std::move(base)), evaluator_(std::move(evaluator)) {
+  if (!evaluator_.fn) {
+    throw std::invalid_argument("batch evaluation session has no evaluator");
+  }
+  workers_.assign(static_cast<std::size_t>(resolve_thread_count(options)),
+                  WorkerState(options.reuse_structures));
+}
+
+std::vector<ScenarioResult> BatchEvaluationSession::evaluate(
+    const std::vector<ScenarioSpec>& candidates) {
+  std::vector<ScenarioResult> rows;
+  evaluate_scenarios(base_, evaluator_, candidates, rows, workers_);
+  evaluations_ += static_cast<long long>(candidates.size());
+  return rows;
+}
+
+int BatchEvaluationSession::model_build_count() const {
+  int builds = 0;
+  for (const WorkerState& worker : workers_) {
+    builds += worker.thermal_models.build_count();
+  }
+  return builds;
 }
 
 void write_sweep_csv(std::ostream& os, const SweepResult& result) {
   std::vector<std::vector<std::string>> rows;
   rows.reserve(result.rows.size());
   for (const ScenarioResult& row : result.rows) {
-    rows.push_back(format_row(result, row));
+    rows.push_back(format_sweep_row(result, row));
   }
-  core::write_table_csv(os, result_headers(result), rows);
+  core::write_table_csv(os, sweep_row_headers(result), rows);
 }
 
 void write_sweep_json(std::ostream& os, const SweepResult& result) {
-  const std::vector<std::string> headers = result_headers(result);
+  const std::vector<std::string> headers = sweep_row_headers(result);
   std::vector<bool> numeric(headers.size(), true);
   numeric.front() = false;  // scenario name
   numeric.back() = false;   // error message
   std::vector<std::vector<std::string>> rows;
   rows.reserve(result.rows.size());
   for (const ScenarioResult& row : result.rows) {
-    rows.push_back(format_row(result, row));
+    rows.push_back(format_sweep_row(result, row));
   }
   os << "{\n"
      << "  \"plan\": \"" << core::json_escape(result.plan_name) << "\",\n"
@@ -198,10 +225,10 @@ void write_sweep_timing_csv(std::ostream& os, const SweepResult& result) {
   std::vector<std::vector<std::string>> rows;
   rows.reserve(result.rows.size() + 1);
   for (const ScenarioResult& row : result.rows) {
-    rows.push_back({row.name, format_metric(row.elapsed_s)});
+    rows.push_back({row.name, format_sweep_value(row.elapsed_s)});
   }
   rows.push_back({"TOTAL (wall, " + std::to_string(result.thread_count) + " threads)",
-                  format_metric(result.wall_time_s)});
+                  format_sweep_value(result.wall_time_s)});
   core::write_table_csv(os, {"scenario", "elapsed_s"}, rows);
 }
 

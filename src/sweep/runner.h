@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sweep/plan.h"
+#include "sweep/system_cache.h"
 
 namespace brightsi::sweep {
 
@@ -52,6 +53,10 @@ struct SweepOptions {
   bool reuse_structures = true;
 };
 
+/// The options' thread count with 0 resolved to hardware concurrency
+/// (never less than 1). Shared by SweepRunner and BatchEvaluationSession.
+[[nodiscard]] int resolve_thread_count(const SweepOptions& options);
+
 class SweepRunner {
  public:
   explicit SweepRunner(SweepOptions options = {});
@@ -65,6 +70,53 @@ class SweepRunner {
  private:
   SweepOptions options_;
 };
+
+/// Persistent batched-evaluation session: the optimizer-facing entry point
+/// of the sweep engine. Where SweepRunner::run expands a full plan,
+/// evaluate() takes an explicit candidate list — and the per-worker states
+/// (thermal-model structure cache) survive across calls, so successive
+/// optimizer generations reuse assembled operators exactly like
+/// consecutive scenarios of one sweep do. Results are in candidate order
+/// and byte-identical for any thread count.
+class BatchEvaluationSession {
+ public:
+  BatchEvaluationSession(core::SystemConfig base, SweepEvaluator evaluator,
+                         SweepOptions options = {});
+
+  /// Evaluates every candidate against the session's base config. Rows
+  /// come back in candidate order; per-candidate exceptions become failed
+  /// rows, exactly as in SweepRunner::run.
+  [[nodiscard]] std::vector<ScenarioResult> evaluate(
+      const std::vector<ScenarioSpec>& candidates);
+
+  [[nodiscard]] const core::SystemConfig& base() const { return base_; }
+  [[nodiscard]] const SweepEvaluator& evaluator() const { return evaluator_; }
+  [[nodiscard]] int thread_count() const { return static_cast<int>(workers_.size()); }
+  /// Evaluator invocations so far (all evaluate() calls).
+  [[nodiscard]] long long evaluation_count() const { return evaluations_; }
+  /// Thermal-model structure builds across all workers; the gap to
+  /// evaluation_count() is the session's cache-hit count.
+  [[nodiscard]] int model_build_count() const;
+
+ private:
+  core::SystemConfig base_;
+  SweepEvaluator evaluator_;
+  std::vector<WorkerState> workers_;
+  long long evaluations_ = 0;
+};
+
+/// Shortest decimal representation that parses back to exactly `value` —
+/// the cell formatting of the sweep CSV/JSON emitters.
+[[nodiscard]] std::string format_sweep_value(double value);
+
+/// Header cells of the result table: scenario, override columns, metric
+/// columns, error.
+[[nodiscard]] std::vector<std::string> sweep_row_headers(const SweepResult& result);
+
+/// Formatted cells of one result row, aligned with sweep_row_headers():
+/// name, overrides (blank where unset), metrics (blank on failure), error.
+[[nodiscard]] std::vector<std::string> format_sweep_row(const SweepResult& result,
+                                                        const ScenarioResult& row);
 
 /// Deterministic result rows: scenario name, override columns (blank where
 /// a scenario does not set the parameter), metric columns, and an error

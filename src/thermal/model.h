@@ -68,6 +68,20 @@ struct ThermalSolution {
   double energy_balance_error = 0.0;
 
   numerics::SolverReport solver_report;
+
+  /// Mean of channel_outlet_k, or `fallback_k` (typically the inlet
+  /// temperature) on a channel-less stack — the uniform fallback every
+  /// outlet consumer must apply, so 0 K outlets cannot reappear.
+  [[nodiscard]] double mean_outlet_k(double fallback_k) const {
+    if (channel_outlet_k.empty()) {
+      return fallback_k;
+    }
+    double sum = 0.0;
+    for (const double outlet : channel_outlet_k) {
+      sum += outlet;
+    }
+    return sum / static_cast<double>(channel_outlet_k.size());
+  }
 };
 
 /// Discretization and solver controls of a ThermalModel.

@@ -116,14 +116,8 @@ void TransientEngine::run(const chip::WorkloadTrace& trace, const FloorplanFn& f
         context_.step_transient(state_, floorplan, operating_point_, step.dt_s());
     ++steps_taken_;
 
-    double mean_outlet_k = operating_point_.inlet_temperature_k;
-    if (!solution.channel_outlet_k.empty()) {
-      double sum = 0.0;
-      for (const double outlet : solution.channel_outlet_k) {
-        sum += outlet;
-      }
-      mean_outlet_k = sum / static_cast<double>(solution.channel_outlet_k.size());
-    }
+    const double mean_outlet_k =
+        solution.mean_outlet_k(operating_point_.inlet_temperature_k);
 
     if (on_step) {
       StepView view{step, phase, solution, mean_outlet_k,

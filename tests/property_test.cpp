@@ -1,6 +1,8 @@
 // Cross-module property suites: physical invariants checked over swept
 // parameter grids (TEST_P), complementing the per-module unit tests.
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include <gtest/gtest.h>
 
@@ -13,6 +15,8 @@
 #include "flowcell/colaminar_fvm.h"
 #include "flowcell/wall_closure.h"
 #include "hydraulics/duct.h"
+#include "numerics/linear_solvers.h"
+#include "numerics/sparse_matrix.h"
 #include "pdn/power_grid.h"
 #include "thermal/model.h"
 
@@ -22,6 +26,7 @@ namespace hy = brightsi::hydraulics;
 namespace th = brightsi::thermal;
 namespace pd = brightsi::pdn;
 namespace ch = brightsi::chip;
+namespace nu = brightsi::numerics;
 
 namespace {
 
@@ -256,6 +261,149 @@ TEST(ReservoirProperty, RuntimeScalesWithTankVolume) {
   EXPECT_NEAR(r_big.runtime_to_floor_s(5.0, 0.1) / r_small.runtime_to_floor_s(5.0, 0.1),
               4.0, 1e-9);
 }
+
+// --------------------------------------- sparse refill / ILU(0) refactor
+// The PR's assemble-once fast paths must be *bitwise* equivalent to a
+// from-scratch build: refill_from_triplets against from_triplets, and
+// Ilu0Preconditioner::refactor against a fresh factorization — over
+// randomized sparsity patterns and values.
+
+/// Deterministic 64-bit LCG, so the randomized patterns are identical on
+/// every platform (no <random> distribution variance).
+class Lcg {
+ public:
+  explicit Lcg(std::uint64_t seed) : state_(seed * 2862933555777941757ULL + 1ULL) {}
+  std::uint64_t next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 16;
+  }
+  double uniform(double lo, double hi) {
+    constexpr double scale = 1.0 / static_cast<double>(1 << 20);
+    return lo + (hi - lo) * static_cast<double>(next() % (1 << 20)) * scale;
+  }
+  int uniform_int(int lo, int hi) {
+    return lo + static_cast<int>(next() % static_cast<std::uint64_t>(hi - lo + 1));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// A random diagonally-dominant square pattern: full diagonal, up to 4
+/// off-diagonals per row, and some entries stamped twice (the duplicate
+/// summation path of finite-volume assembly).
+nu::TripletList random_pattern(Lcg& rng, int n) {
+  nu::TripletList triplets;
+  for (int i = 0; i < n; ++i) {
+    double off_sum = 0.0;
+    std::vector<int> used;
+    const int off_count = rng.uniform_int(0, 4);
+    for (int k = 0; k < off_count; ++k) {
+      const int j = rng.uniform_int(0, n - 1);
+      // Keep off-diagonal columns distinct so no entry is stamped more
+      // than twice: beyond two duplicates the summation order of a fresh
+      // build is unspecified and bitwise equality would be overclaiming.
+      if (j == i || std::find(used.begin(), used.end(), j) != used.end()) {
+        continue;
+      }
+      used.push_back(j);
+      const double value = rng.uniform(-1.0, 1.0);
+      triplets.add(i, j, value);
+      off_sum += std::abs(value);
+      if (rng.uniform_int(0, 3) == 0) {  // duplicate stamp of the same entry
+        const double extra = rng.uniform(-0.5, 0.5);
+        triplets.add(i, j, extra);
+        off_sum += std::abs(extra);
+      }
+    }
+    triplets.add(i, i, off_sum + rng.uniform(1.0, 3.0));  // dominance: no zero pivots
+  }
+  return triplets;
+}
+
+/// Same (row, col) stamp sequence, fresh values (duplicates included).
+nu::TripletList refreshed_values(Lcg& rng, const nu::TripletList& pattern) {
+  nu::TripletList triplets;
+  for (const nu::Triplet& t : pattern.entries()) {
+    // Keep diagonal dominance for the ILU sweep: diagonal entries stay
+    // large, off-diagonals stay small.
+    const double value = t.row == t.col ? std::abs(t.value) + rng.uniform(1.0, 2.0)
+                                        : rng.uniform(-1.0, 1.0);
+    triplets.add(t.row, t.col, value);
+  }
+  return triplets;
+}
+
+class SparseReuseSweep : public ::testing::TestWithParam<int> {};  // seed
+
+TEST_P(SparseReuseSweep, RefillMatchesFreshBuildBitwise) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = 10 + 5 * GetParam();
+  const nu::TripletList first = random_pattern(rng, n);
+  const nu::TripletList second = refreshed_values(rng, first);
+
+  nu::CsrMatrix reused = nu::CsrMatrix::from_triplets(n, n, first);
+  const nu::CsrMatrix fresh = nu::CsrMatrix::from_triplets(n, n, second);
+
+  std::vector<int> slot_cache;
+  reused.refill_from_triplets(second, &slot_cache);
+  EXPECT_EQ(reused.row_offsets(), fresh.row_offsets());
+  EXPECT_EQ(reused.column_indices(), fresh.column_indices());
+  EXPECT_EQ(reused.values(), fresh.values());  // bitwise, not approximate
+  EXPECT_EQ(slot_cache.size(), second.size());
+
+  // The populated slot cache must reproduce the same fill exactly.
+  nu::CsrMatrix cached = nu::CsrMatrix::from_triplets(n, n, first);
+  cached.refill_from_triplets(second, &slot_cache);
+  EXPECT_EQ(cached.values(), fresh.values());
+}
+
+TEST_P(SparseReuseSweep, IluRefactorMatchesFreshFactorizationBitwise) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const int n = 10 + 5 * GetParam();
+  const nu::TripletList first = random_pattern(rng, n);
+  const nu::TripletList second = refreshed_values(rng, first);
+  const nu::CsrMatrix a1 = nu::CsrMatrix::from_triplets(n, n, first);
+  const nu::CsrMatrix a2 = nu::CsrMatrix::from_triplets(n, n, second);
+
+  nu::Ilu0Preconditioner refactored(a1);
+  refactored.refactor(a2);
+  const nu::Ilu0Preconditioner fresh(a2);
+
+  // The factorizations are private; equality is observed through apply():
+  // identical factors produce bitwise-identical solves for any rhs.
+  std::vector<double> rhs(static_cast<std::size_t>(n));
+  for (double& value : rhs) {
+    value = rng.uniform(-10.0, 10.0);
+  }
+  std::vector<double> z_refactored(static_cast<std::size_t>(n));
+  std::vector<double> z_fresh(static_cast<std::size_t>(n));
+  refactored.apply(rhs, z_refactored);
+  fresh.apply(rhs, z_fresh);
+  EXPECT_EQ(z_refactored, z_fresh);
+}
+
+TEST(SparseReuse, MismatchedPatternsAreRejected) {
+  nu::TripletList tridiag;
+  for (int i = 0; i < 6; ++i) {
+    tridiag.add(i, i, 4.0);
+    if (i > 0) {
+      tridiag.add(i, i - 1, -1.0);
+      tridiag.add(i - 1, i, -1.0);
+    }
+  }
+  nu::CsrMatrix a = nu::CsrMatrix::from_triplets(6, 6, tridiag);
+
+  nu::TripletList wider = tridiag;
+  wider.add(0, 5, 0.25);  // entry outside the pattern
+  EXPECT_THROW(a.refill_from_triplets(wider), std::invalid_argument);
+
+  nu::Ilu0Preconditioner ilu(a);
+  const nu::CsrMatrix dense_corner = nu::CsrMatrix::from_triplets(6, 6, wider);
+  EXPECT_THROW(ilu.refactor(dense_corner), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseReuseSweep, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
 // ------------------------------------------------------ power-map invariants
 class RasterFilterSweep : public ::testing::TestWithParam<int> {};

@@ -6,7 +6,7 @@
 //   brightsi_sweep <plan> [options]            run a registered plan
 //   brightsi_sweep custom --evaluator <name>
 //       --grid p=v1,v2,... [--grid ...] [--set p=v ...]   ad-hoc sweep
-//       (evaluators: cosim, array, rail, mission)
+//       (evaluators: cosim, array, array_thermal, rail, mission)
 //
 // Options:
 //   --threads N     worker threads (default: hardware concurrency)
@@ -28,6 +28,7 @@
 #include "core/report.h"
 #include "sweep/registry.h"
 #include "sweep/runner.h"
+#include "cli_args.h"
 
 namespace sw = brightsi::sweep;
 using brightsi::core::TextTable;
@@ -39,7 +40,7 @@ int usage(const char* argv0, int exit_code) {
                "usage: %s --list | --params\n"
                "       %s <plan> [--threads N] [--csv FILE] [--json FILE]"
                " [--timing FILE] [--quiet] [--no-reuse]\n"
-               "       %s custom --evaluator cosim|array|rail|mission"
+               "       %s custom --evaluator cosim|array|array_thermal|rail|mission"
                " (--grid p=v1,v2,... | --set p=v)... [options]\n",
                argv0, argv0, argv0);
   return exit_code;
@@ -115,23 +116,6 @@ void print_result_table(const sw::SweepResult& result) {
               result.thread_count, result.scenarios_per_second());
 }
 
-/// Writes through the requested sink: '-' = stdout, else a file path.
-bool emit(const std::string& path, const char* what,
-          const std::function<void(std::ostream&)>& writer) {
-  if (path == "-") {
-    writer(std::cout);
-    return true;
-  }
-  std::ofstream file(path);
-  if (!file) {
-    std::fprintf(stderr, "error: cannot open %s file '%s'\n", what, path.c_str());
-    return false;
-  }
-  writer(file);
-  std::fprintf(stderr, "wrote %s to %s\n", what, path.c_str());
-  return true;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -163,14 +147,10 @@ int main(int argc, char** argv) {
 
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
-      auto next = [&]() -> std::string {
-        if (i + 1 >= argc) {
-          throw std::invalid_argument("missing value after " + arg);
-        }
-        return argv[++i];
-      };
+      auto next = [&] { return brightsi::tools::next_arg(argc, argv, i, arg); };
       if (arg == "--threads") {
-        options.thread_count = std::stoi(next());
+        // 0 keeps the "hardware concurrency" default.
+        options.thread_count = brightsi::tools::next_int_arg(argc, argv, i, arg, 0);
       } else if (arg == "--csv") {
         csv_path = next();
       } else if (arg == "--json") {
@@ -221,15 +201,20 @@ int main(int argc, char** argv) {
     }
     bool ok = true;
     if (!csv_path.empty()) {
-      ok = emit(csv_path, "CSV", [&](std::ostream& os) { write_sweep_csv(os, result); }) && ok;
+      ok = brightsi::core::emit_to_sink(
+               csv_path, "CSV", [&](std::ostream& os) { write_sweep_csv(os, result); }) &&
+           ok;
     }
     if (!json_path.empty()) {
-      ok = emit(json_path, "JSON",
-                [&](std::ostream& os) { write_sweep_json(os, result); }) && ok;
+      ok = brightsi::core::emit_to_sink(
+               json_path, "JSON", [&](std::ostream& os) { write_sweep_json(os, result); }) &&
+           ok;
     }
     if (!timing_path.empty()) {
-      ok = emit(timing_path, "timing",
-                [&](std::ostream& os) { write_sweep_timing_csv(os, result); }) && ok;
+      ok = brightsi::core::emit_to_sink(
+               timing_path, "timing",
+               [&](std::ostream& os) { write_sweep_timing_csv(os, result); }) &&
+           ok;
     }
     return (ok && result.failure_count() == 0) ? 0 : 1;
   } catch (const std::exception& e) {

@@ -1,0 +1,43 @@
+// Tiny argv helpers shared by the tools/ CLI drivers, so the
+// missing-value and integer-parsing error messages stay identical across
+// brightsi_sweep and brightsi_opt.
+#ifndef BRIGHTSI_TOOLS_CLI_ARGS_H
+#define BRIGHTSI_TOOLS_CLI_ARGS_H
+
+#include <stdexcept>
+#include <string>
+
+namespace brightsi::tools {
+
+/// argv[++i], or throws "missing value after <flag>".
+inline std::string next_arg(int argc, char** argv, int& i, const std::string& flag) {
+  if (i + 1 >= argc) {
+    throw std::invalid_argument("missing value after " + flag);
+  }
+  return argv[++i];
+}
+
+/// next_arg parsed as an integer >= `minimum`; throws with a readable
+/// message on garbage or an out-of-range value.
+inline int next_int_arg(int argc, char** argv, int& i, const std::string& flag,
+                        int minimum) {
+  const std::string text = next_arg(argc, argv, i, flag);
+  int value = 0;
+  try {
+    std::size_t consumed = 0;
+    value = std::stoi(text, &consumed);
+    if (consumed != text.size()) {
+      throw std::invalid_argument(text);
+    }
+  } catch (const std::exception&) {
+    throw std::invalid_argument("not an integer after " + flag + ": '" + text + "'");
+  }
+  if (value < minimum) {
+    throw std::invalid_argument(flag + " must be >= " + std::to_string(minimum));
+  }
+  return value;
+}
+
+}  // namespace brightsi::tools
+
+#endif  // BRIGHTSI_TOOLS_CLI_ARGS_H
