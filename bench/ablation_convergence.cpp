@@ -69,7 +69,7 @@ void print_reproduction() {
                                  ch::kPower7DieHeightM, settings);
     const auto sol = model.solve_steady(floorplan, op);
     thermal.add_row({std::to_string(ny), TextTable::num(sol.peak_temperature_k - 273.15, 2),
-                     TextTable::num(sol.channel_outlet_k[0] - 273.15, 2),
+                     TextTable::num(sol.channel_outlet_k()[0] - 273.15, 2),
                      TextTable::num(sol.energy_balance_error, 9)});
   }
   thermal.print(std::cout);

@@ -56,7 +56,7 @@ void print_reproduction() {
   blocks.print(std::cout);
 
   // Celsius map for display.
-  auto map_c = sol.source_layer_map_k;
+  auto map_c = sol.source_layer_map_k();
   for (double& v : map_c.data()) {
     v -= 273.15;
   }

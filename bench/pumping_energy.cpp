@@ -15,6 +15,7 @@
 #include "electrochem/vanadium.h"
 #include "flowcell/cell_array.h"
 #include "hydraulics/pump.h"
+#include "repro/figures.h"
 
 namespace fc = brightsi::flowcell;
 namespace ec = brightsi::electrochem;
@@ -61,20 +62,16 @@ void print_reproduction() {
               generated > pump_model ? "YES" : "NO",
               generated > paper_pump_w ? "YES" : "NO");
 
-  // Flow sweep: where would pumping eat the generation?
+  // Flow sweep: where would pumping eat the generation? Printed from the
+  // shared figure table (repro/figures.h) pinned by tests/golden/pumping.csv
+  // so this bench and the golden regression can never drift apart.
   std::printf("\nflow sweep (net power vs flow, model physics):\n");
+  const brightsi::repro::FigureTable figure = brightsi::repro::pumping_energy_table();
   TextTable sweep({"flow (ml/min)", "dp (bar)", "pump (W)", "I@1V (A)", "net (W)"});
-  for (const double ml : {48.0, 150.0, 300.0, 676.0, 1500.0, 3000.0, 6000.0}) {
-    auto s = spec;
-    s.total_flow_m3_per_s = ml * 1e-6 / 60.0;
-    const fc::FlowCellArray a(s, ec::power7_array_chemistry());
-    const auto hh = a.hydraulics_at_spec_flow();
-    const double pump = hy::pumping_power_w(hh.pressure_drop_pa, s.total_flow_m3_per_s,
-                                            eta_pump);
-    const double current = a.current_at_voltage(1.0);
-    sweep.add_row({TextTable::num(ml, 0), TextTable::num(hh.pressure_drop_pa / 1e5, 3),
-                   TextTable::num(pump, 3), TextTable::num(current, 2),
-                   TextTable::num(current - pump, 2)});
+  for (const std::vector<double>& row : figure.rows) {
+    sweep.add_row({TextTable::num(row[0], 0), TextTable::num(row[3], 3),
+                   TextTable::num(row[4], 3), TextTable::num(row[5], 2),
+                   TextTable::num(row[6], 2)});
   }
   sweep.print(std::cout);
   std::printf("\n");

@@ -1,0 +1,136 @@
+// 3D-stack co-simulation throughput: repeated IntegratedMpsocSystem::run()
+// on the two-die interlayer-cooled configuration — the unit of work of
+// every stack_3d sweep scenario and stack_depth optimizer candidate. The
+// stacked operator is roughly twice the single-die system's, so this bench
+// tracks how the solve-context machinery (assemble-once pattern, ILU(0)
+// refactor, warm starts) scales with stack depth.
+//
+// Prints a human-readable summary and writes a machine-readable
+// BENCH_stack3d.json (runs/s, per-die split, BiCGSTAB iterations, assembly
+// vs solve time) that the CI Release job uploads as an artifact. A
+// non-flag first argument overrides the JSON path.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include <benchmark/benchmark.h>
+
+#include "core/cosim.h"
+
+namespace co = brightsi::core;
+
+namespace {
+
+struct Measurement {
+  int runs = 0;
+  double wall_s = 0.0;
+  long long thermal_solves = 0;
+  long long thermal_iterations = 0;
+  double thermal_assembly_s = 0.0;
+  double thermal_solve_s = 0.0;
+  int dies = 0;
+  int channel_layers = 0;
+  double bottom_flow_fraction = 0.0;
+
+  [[nodiscard]] double runs_per_s() const { return wall_s > 0.0 ? runs / wall_s : 0.0; }
+};
+
+Measurement measure_repeated_runs(const co::IntegratedMpsocSystem& system) {
+  (void)system.run();  // warm-up: first-touch allocations, cache warming
+  Measurement m;
+  const auto start = std::chrono::steady_clock::now();
+  while (true) {
+    const co::CoSimReport report = system.run();
+    ++m.runs;
+    m.thermal_solves += report.thermal_solves;
+    m.thermal_iterations += report.thermal_iterations;
+    m.thermal_assembly_s += report.thermal_assembly_time_s;
+    m.thermal_solve_s += report.thermal_solve_time_s;
+    m.dies = report.die_count;
+    m.channel_layers = static_cast<int>(report.layer_flows.size());
+    m.bottom_flow_fraction =
+        report.layer_flows.empty() ? 0.0 : report.layer_flows.front().fraction;
+    m.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if ((m.wall_s >= 2.0 && m.runs >= 5) || m.runs >= 64) {
+      return m;
+    }
+  }
+}
+
+void write_json(const char* path, const Measurement& m) {
+  std::FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(file,
+               "{\n"
+               "  \"bench\": \"stack3d_throughput\",\n"
+               "  \"dies\": %d,\n"
+               "  \"channel_layers\": %d,\n"
+               "  \"bottom_flow_fraction\": %.6f,\n"
+               "  \"runs\": %d,\n"
+               "  \"wall_s\": %.6f,\n"
+               "  \"runs_per_s\": %.4f,\n"
+               "  \"mean_run_s\": %.6f,\n"
+               "  \"mean_thermal_solves_per_run\": %.3f,\n"
+               "  \"mean_bicgstab_iterations_per_run\": %.3f,\n"
+               "  \"thermal_assembly_s_per_run\": %.6f,\n"
+               "  \"thermal_solve_s_per_run\": %.6f\n"
+               "}\n",
+               m.dies, m.channel_layers, m.bottom_flow_fraction, m.runs, m.wall_s,
+               m.runs_per_s(), m.wall_s / m.runs,
+               static_cast<double>(m.thermal_solves) / m.runs,
+               static_cast<double>(m.thermal_iterations) / m.runs,
+               m.thermal_assembly_s / m.runs, m.thermal_solve_s / m.runs);
+  std::fclose(file);
+  std::printf("wrote %s\n", path);
+}
+
+void print_reproduction(const char* json_path) {
+  co::SystemConfig config = co::two_die_system_config();
+  config.thermal_grid.axial_cells = 16;  // the sweep plans' stacked resolution
+  const co::IntegratedMpsocSystem system(config);
+  const Measurement m = measure_repeated_runs(system);
+
+  std::printf("== stack3d throughput: repeated two-die IntegratedMpsocSystem::run() ==\n");
+  std::printf("%d dies, %d cooling layers, bottom-layer flow fraction %.3f\n", m.dies,
+              m.channel_layers, m.bottom_flow_fraction);
+  std::printf("%d runs in %.3f s -> %.3f runs/s (mean %.3f s/run)\n", m.runs, m.wall_s,
+              m.runs_per_s(), m.wall_s / m.runs);
+  std::printf("thermal: %.1f solves/run, %.1f BiCGSTAB iterations/run\n",
+              static_cast<double>(m.thermal_solves) / m.runs,
+              static_cast<double>(m.thermal_iterations) / m.runs);
+  std::printf("time split per run: assembly %.1f ms, krylov %.1f ms, other %.1f ms\n\n",
+              1e3 * m.thermal_assembly_s / m.runs, 1e3 * m.thermal_solve_s / m.runs,
+              1e3 * (m.wall_s - m.thermal_assembly_s - m.thermal_solve_s) / m.runs);
+  write_json(json_path, m);
+}
+
+void bm_stack3d_run(benchmark::State& state) {
+  co::SystemConfig config = co::two_die_system_config();
+  config.thermal_grid.axial_cells = 16;
+  const co::IntegratedMpsocSystem system(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.run());
+  }
+}
+BENCHMARK(bm_stack3d_run)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = "BENCH_stack3d.json";
+  if (argc > 1 && std::strncmp(argv[1], "--", 2) != 0) {
+    json_path = argv[1];
+    for (int i = 1; i + 1 < argc; ++i) {
+      argv[i] = argv[i + 1];
+    }
+    --argc;
+  }
+  print_reproduction(json_path);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

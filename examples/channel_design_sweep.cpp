@@ -56,9 +56,10 @@ Evaluation evaluate(const Candidate& c, double target_current, double max_peak_c
 
   // Thermal check with the matching channel layer.
   auto stack = th::power7_microchannel_stack();
-  stack.channel_layer->channel_count = channels;
-  stack.channel_layer->channel_width_m = c.channel_width_um * 1e-6;
-  stack.channel_layer->interior_wall_width_m = pitch - c.channel_width_um * 1e-6;
+  th::MicrochannelLayerSpec* channel_layer = stack.bottom_channel_layer();
+  channel_layer->channel_count = channels;
+  channel_layer->channel_width_m = c.channel_width_um * 1e-6;
+  channel_layer->interior_wall_width_m = pitch - c.channel_width_um * 1e-6;
   th::ThermalModel::GridSettings grid;
   grid.axial_cells = 8;
   const th::ThermalModel model(stack, ch::kPower7DieWidthM, ch::kPower7DieHeightM, grid);

@@ -52,7 +52,7 @@ int main() {
               report.supply.vrm_window_ok ? "ok" : "VIOLATED");
 
   // Die temperature map (same field Fig. 9 plots).
-  auto map_c = report.thermal.source_layer_map_k;
+  auto map_c = report.thermal.source_layer_map_k();
   for (double& v : map_c.data()) {
     v -= 273.15;
   }

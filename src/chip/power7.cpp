@@ -73,6 +73,16 @@ Floorplan make_power7_floorplan(const Power7PowerSpec& spec) {
   return fp;
 }
 
+Power7PowerSpec memory_die_power_spec() {
+  Power7PowerSpec spec;
+  spec.core_w_per_cm2 = 3.0;        // SRAM/DRAM arrays in the core outlines
+  spec.cache_w_per_cm2 = 2.031;     // same array density as the base cache rail
+  spec.logic_w_per_cm2 = 4.0;       // bank controllers / repair logic
+  spec.io_w_per_cm2 = 2.0;          // TSV drivers
+  spec.background_w_per_cm2 = 1.5;  // refresh + leakage
+  return spec;
+}
+
 double cache_density_for_rail_current(const Floorplan& floorplan, double current_a,
                                       double voltage_v) {
   ensure_positive(current_a, "rail current");

@@ -50,6 +50,12 @@ struct Power7PowerSpec {
 /// l3_bot, logic_left, io_right.
 [[nodiscard]] Floorplan make_power7_floorplan(const Power7PowerSpec& spec = {});
 
+/// Power densities of a stacked cache/DRAM die (3D-stack upper tiers):
+/// the POWER7+ outline reused as memory macros — no hot cores, moderate
+/// array and controller densities. Used by the multi-die system configs
+/// and the die_count sweep parameter.
+[[nodiscard]] Power7PowerSpec memory_die_power_spec();
+
 /// Cache density (W/cm^2) that makes the cache rail draw `current_a` at
 /// `voltage_v` given the reconstruction's cache area.
 [[nodiscard]] double cache_density_for_rail_current(const Floorplan& floorplan,

@@ -17,26 +17,43 @@ IntegratedMpsocSystem::IntegratedMpsocSystem(SystemConfig config)
 
 IntegratedMpsocSystem::IntegratedMpsocSystem(
     SystemConfig config, std::shared_ptr<const thermal::ThermalModel> thermal_model)
-    : config_(std::move(config)), floorplan_(chip::make_power7_floorplan(config_.power_spec)) {
+    : config_(std::move(config)) {
   config_.validate();
+  floorplans_.push_back(chip::make_power7_floorplan(config_.power_spec));
+  for (const chip::Power7PowerSpec& upper : config_.upper_die_power) {
+    floorplans_.push_back(chip::make_power7_floorplan(upper));
+  }
+  const chip::Floorplan& primary = floorplans_.front();
   if (thermal_model != nullptr) {
     // The shared model must have been built from exactly this config's
     // structural inputs; anything less (shape-only checks) would accept a
     // model with different layer materials or discretization.
     ensure(thermal_model->stack() == config_.stack &&
                thermal_model->settings() == config_.thermal_grid &&
-               thermal_model->die_width_m() == floorplan_.die_width() &&
-               thermal_model->die_height_m() == floorplan_.die_height(),
+               thermal_model->die_width_m() == primary.die_width() &&
+               thermal_model->die_height_m() == primary.die_height(),
            "shared thermal model does not match the configured stack/grid");
     thermal_model_ = std::move(thermal_model);
   } else {
     thermal_model_ = std::make_shared<const thermal::ThermalModel>(
-        config_.stack, floorplan_.die_width(), floorplan_.die_height(), config_.thermal_grid);
+        config_.stack, primary.die_width(), primary.die_height(), config_.thermal_grid);
   }
   thermal_context_ = std::make_unique<thermal::ThermalSolveContext>(*thermal_model_);
-  array_ = std::make_unique<flowcell::FlowCellArray>(config_.array_spec, config_.chemistry,
+
+  // The electrochemistry lives in the bottom channel layer; with interlayer
+  // cooling above it, only that layer's equal-pressure-drop share of the
+  // pump total flows through the flow cells. Single-layer stacks keep the
+  // configured spec bitwise (fraction exactly 1).
+  electro_array_spec_ = config_.array_spec;
+  if (thermal_model_->channel_layer_count() > 1) {
+    const std::vector<double> layer_flows =
+        thermal_model_->layer_flow_split(config_.thermal_operating_point());
+    electro_flow_fraction_ = layer_flows.front() / config_.array_spec.total_flow_m3_per_s;
+    electro_array_spec_.total_flow_m3_per_s = layer_flows.front();
+  }
+  array_ = std::make_unique<flowcell::FlowCellArray>(electro_array_spec_, config_.chemistry,
                                                      config_.fvm);
-  power_grid_ = std::make_unique<pdn::PowerGrid>(config_.grid_spec, floorplan_);
+  power_grid_ = std::make_unique<pdn::PowerGrid>(config_.grid_spec, primary);
   ensure(thermal_model_->channel_count() == config_.array_spec.channel_count,
          "thermal stack and array disagree on the channel count");
 }
@@ -76,8 +93,8 @@ double IntegratedMpsocSystem::array_current_with_profiles(
   double total = 0.0;
   for (const auto& profile : group_profiles) {
     flowcell::ChannelOperatingConditions conditions;
-    conditions.volumetric_flow_m3_per_s = config_.array_spec.per_channel_flow();
-    conditions.inlet_temperature_k = config_.array_spec.inlet_temperature_k;
+    conditions.volumetric_flow_m3_per_s = electro_array_spec_.per_channel_flow();
+    conditions.inlet_temperature_k = electro_array_spec_.inlet_temperature_k;
     conditions.axial_temperature_k = profile;
     conditions.parasitic_current_density_a_per_m2 =
         config_.array_spec.parasitic_current_density_a_per_m2;
@@ -141,22 +158,20 @@ CoSimReport IntegratedMpsocSystem::run() const {
   thermal_context_->reset();
   const thermal::ThermalSolveContext::Stats stats_before = thermal_context_->stats();
 
-  thermal::OperatingPoint thermal_op;
-  thermal_op.total_flow_m3_per_s = config_.array_spec.total_flow_m3_per_s;
-  thermal_op.inlet_temperature_k = config_.array_spec.inlet_temperature_k;
-  thermal_op.coolant.thermal_conductivity_w_per_m_k =
-      config_.chemistry.electrolyte.thermal_conductivity_w_per_m_k;
-  thermal_op.coolant.volumetric_heat_capacity_j_per_m3_k =
-      config_.chemistry.electrolyte.volumetric_heat_capacity_j_per_m3_k;
-  thermal_op.coolant.density_kg_per_m3 = config_.chemistry.electrolyte.density_kg_per_m3.at(
-      config_.array_spec.inlet_temperature_k);
-  thermal_op.coolant.dynamic_viscosity_pa_s =
-      config_.chemistry.electrolyte.dynamic_viscosity_pa_s.at(
-          config_.array_spec.inlet_temperature_k);
+  const thermal::OperatingPoint thermal_op = config_.thermal_operating_point();
+
+  // One power map per die for the thermal solves (the primary die's map
+  // plus any stacked upper dies).
+  std::vector<const chip::Floorplan*> die_floorplans;
+  die_floorplans.reserve(floorplans_.size());
+  for (const chip::Floorplan& floorplan : floorplans_) {
+    die_floorplans.push_back(&floorplan);
+  }
+  report.die_count = static_cast<int>(floorplans_.size());
 
   // The cache rail is the VRM output demand (constant across iterations:
   // the caches run at their configured density).
-  const double rail_power = floorplan_.cache_power();
+  const double rail_power = floorplans_.front().cache_power();
 
   std::vector<std::vector<double>> group_profiles;  // empty = isothermal
   std::vector<std::vector<double>> supplied_profiles;
@@ -164,8 +179,8 @@ CoSimReport IntegratedMpsocSystem::run() const {
   for (int it = 1; it <= config_.max_cosim_iterations; ++it) {
     report.iterations = it;
 
-    report.thermal = thermal_context_->solve_steady(floorplan_, thermal_op);
-    group_profiles = group_channel_profiles(report.thermal.channel_fluid_axial_k);
+    report.thermal = thermal_context_->solve_steady(die_floorplans, thermal_op);
+    group_profiles = group_channel_profiles(report.thermal.channel_fluid_axial_k());
     // The supply operating point is a pure function of the profiles (the
     // rail demand is constant), so an iteration whose thermal field
     // reproduced the previous one bit-for-bit reuses the previous solve —
@@ -192,10 +207,22 @@ CoSimReport IntegratedMpsocSystem::run() const {
   report.mean_coolant_outlet_c = ec::constants::kelvin_to_celsius(
       report.thermal.mean_outlet_k(config_.array_spec.inlet_temperature_k));
 
+  // Per-layer flow split report (one row per microchannel layer).
+  for (const thermal::ChannelLayerSolution& layer : report.thermal.channel_layers) {
+    ChannelLayerReport row;
+    row.flow_ml_min = layer.flow_m3_per_s * 60.0 * 1e6;
+    row.fraction = layer.flow_fraction;
+    row.heat_absorbed_w = layer.heat_absorbed_w;
+    row.outlet_mean_c = ec::constants::kelvin_to_celsius(
+        layer.mean_outlet_k(config_.array_spec.inlet_temperature_k));
+    report.layer_flows.push_back(row);
+  }
+
   // Cache-rail IR-drop map (Fig. 8) with the calibrated tap grid.
+  const chip::Floorplan& primary = floorplans_.front();
   const auto taps = pdn::make_vrm_grid(
-      config_.vrm_spec.count_x, config_.vrm_spec.count_y, floorplan_.die_width(),
-      floorplan_.die_height(), config_.vrm_spec.set_point_v,
+      config_.vrm_spec.count_x, config_.vrm_spec.count_y, primary.die_width(),
+      primary.die_height(), config_.vrm_spec.set_point_v,
       config_.vrm_spec.output_resistance_ohm);
   report.grid = power_grid_->solve(taps);
 
@@ -232,7 +259,7 @@ flowcell::PolarizationCurve IntegratedMpsocSystem::array_sweep_with_thermal_feed
   ensure(point_count >= 2, "sweep needs at least two points");
   const CoSimReport report = run();
   const auto group_profiles =
-      group_channel_profiles(report.thermal.channel_fluid_axial_k);
+      group_channel_profiles(report.thermal.channel_fluid_axial_k());
 
   const double ocv = array_->open_circuit_voltage();
   const double v_start = ocv - 1e-4;

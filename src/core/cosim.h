@@ -33,6 +33,15 @@ struct SupplyOperatingPoint {
   bool vrm_window_ok = false;   ///< bus voltage within the converter window
 };
 
+/// Flow and heat report of one microchannel layer of the stack (the pump
+/// total splits across parallel layers at equal pressure drop).
+struct ChannelLayerReport {
+  double flow_ml_min = 0.0;
+  double fraction = 1.0;         ///< share of the pump total
+  double heat_absorbed_w = 0.0;
+  double outlet_mean_c = 0.0;
+};
+
 /// Complete co-simulation result.
 struct CoSimReport {
   int iterations = 0;
@@ -41,6 +50,11 @@ struct CoSimReport {
   thermal::ThermalSolution thermal;
   double peak_temperature_c = 0.0;
   double mean_coolant_outlet_c = 0.0;
+
+  /// Per-channel-layer flow split, bottom to top (one entry for the paper's
+  /// single-die package; one per cooling layer for 3D stacks).
+  std::vector<ChannelLayerReport> layer_flows;
+  int die_count = 1;
 
   SupplyOperatingPoint supply;
   pdn::PowerGridSolution grid;
@@ -99,10 +113,17 @@ class IntegratedMpsocSystem {
       double cell_voltage_v, const std::vector<std::vector<double>>& group_profiles) const;
 
   [[nodiscard]] const SystemConfig& config() const { return config_; }
-  [[nodiscard]] const chip::Floorplan& floorplan() const { return floorplan_; }
+  /// The primary (bottom) die's floorplan.
+  [[nodiscard]] const chip::Floorplan& floorplan() const { return floorplans_.front(); }
+  /// All die floorplans, bottom to top (size = stack heat-source layers).
+  [[nodiscard]] const std::vector<chip::Floorplan>& floorplans() const { return floorplans_; }
   [[nodiscard]] const thermal::ThermalModel& thermal_model() const { return *thermal_model_; }
   [[nodiscard]] const flowcell::FlowCellArray& array() const { return *array_; }
   [[nodiscard]] const pdn::PowerGrid& power_grid() const { return *power_grid_; }
+  /// The electrochemical array's share of the pump total flow (the bottom
+  /// channel layer's equal-pressure-drop fraction; 1 for single-layer
+  /// stacks).
+  [[nodiscard]] double electro_flow_fraction() const { return electro_flow_fraction_; }
 
   /// Averages the 88 per-channel profiles into config.channel_groups
   /// group profiles.
@@ -111,7 +132,12 @@ class IntegratedMpsocSystem {
 
  private:
   SystemConfig config_;
-  chip::Floorplan floorplan_;
+  std::vector<chip::Floorplan> floorplans_;  ///< [0] = primary die
+  /// Array spec actually driving the electrochemistry: the configured spec
+  /// with total flow scaled to the bottom channel layer's share. Bitwise
+  /// the configured spec for single-layer stacks.
+  flowcell::ArraySpec electro_array_spec_;
+  double electro_flow_fraction_ = 1.0;
   std::shared_ptr<const thermal::ThermalModel> thermal_model_;
   /// Mutable solve state behind the const run(): reset per run, so the
   /// cache/warm-start machinery never leaks across runs.

@@ -99,26 +99,24 @@ MissionResult run_mission(const MissionConfig& config,
                thermal_model->settings() == sys.thermal_grid,
            "run_mission: shared thermal model does not match the system config");
   }
-  th::OperatingPoint op;
-  op.total_flow_m3_per_s = sys.array_spec.total_flow_m3_per_s;
-  op.inlet_temperature_k = sys.array_spec.inlet_temperature_k;
-  op.coolant.thermal_conductivity_w_per_m_k =
-      sys.chemistry.electrolyte.thermal_conductivity_w_per_m_k;
-  op.coolant.volumetric_heat_capacity_j_per_m3_k =
-      sys.chemistry.electrolyte.volumetric_heat_capacity_j_per_m3_k;
-  op.coolant.density_kg_per_m3 =
-      sys.chemistry.electrolyte.density_kg_per_m3.at(op.inlet_temperature_k);
-  op.coolant.dynamic_viscosity_pa_s =
-      sys.chemistry.electrolyte.dynamic_viscosity_pa_s.at(op.inlet_temperature_k);
+  const th::OperatingPoint op = sys.thermal_operating_point();
 
   // Reservoir seeded with the system chemistry as the template.
   ec::ReservoirSpec tank_spec = config.reservoir;
   tank_spec.chemistry = sys.chemistry;
   ec::ElectrolyteReservoir reservoir(tank_spec, config.initial_soc);
 
+  // The electrochemistry sees only the bottom channel layer's share of the
+  // pump total when interlayer cooling splits the flow (bitwise the
+  // configured spec for single-layer stacks).
+  fc::ArraySpec electro_spec = sys.array_spec;
+  if (thermal_model->channel_layer_count() > 1) {
+    electro_spec.total_flow_m3_per_s = thermal_model->layer_flow_split(op).front();
+  }
+
   // Array rebuilt lazily as the SOC drifts.
   double array_soc = reservoir.state_of_charge();
-  auto array = std::make_unique<fc::FlowCellArray>(sys.array_spec,
+  auto array = std::make_unique<fc::FlowCellArray>(electro_spec,
                                                    reservoir.chemistry_at_soc(), sys.fvm);
 
   th::TransientEngineOptions engine_options;
@@ -126,6 +124,9 @@ MissionResult run_mission(const MissionConfig& config,
   engine_options.schedule.align_phase_boundaries = config.align_phase_boundaries;
   engine_options.sample_stride = config.sample_stride;
   engine_options.initial_state = initial_thermal_state;
+  for (const chip::Power7PowerSpec& upper : sys.upper_die_power) {
+    engine_options.upper_die_floorplans.push_back(chip::make_power7_floorplan(upper));
+  }
   th::TransientEngine engine(*thermal_model, op, engine_options);
 
   MissionResult result;
@@ -148,7 +149,7 @@ MissionResult run_mission(const MissionConfig& config,
     // Refresh the electrochemical model when the tanks drifted enough.
     if (std::abs(reservoir.state_of_charge() - array_soc) > config.soc_rebuild_threshold) {
       array_soc = reservoir.state_of_charge();
-      array = std::make_unique<fc::FlowCellArray>(sys.array_spec,
+      array = std::make_unique<fc::FlowCellArray>(electro_spec,
                                                   reservoir.chemistry_at(array_soc), sys.fvm);
     }
 

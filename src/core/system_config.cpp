@@ -10,6 +10,11 @@ void SystemConfig::validate() const {
   chemistry.validate();
   fvm.validate();
   stack.validate();
+  ensure(stack.source_layer_count() == 1 + static_cast<int>(upper_die_power.size()),
+         "stack has " + std::to_string(stack.source_layer_count()) +
+             " heat-source layers but the config describes " +
+             std::to_string(1 + upper_die_power.size()) +
+             " dies (primary + upper_die_power)");
   grid_spec.validate();
   vrm_spec.validate();
   ensure(pump_efficiency > 0.0 && pump_efficiency <= 1.0, "pump efficiency in (0, 1]");
@@ -20,6 +25,21 @@ void SystemConfig::validate() const {
   ensure_positive(temperature_tolerance_k, "temperature tolerance");
 }
 
+thermal::OperatingPoint SystemConfig::thermal_operating_point() const {
+  thermal::OperatingPoint op;
+  op.total_flow_m3_per_s = array_spec.total_flow_m3_per_s;
+  op.inlet_temperature_k = array_spec.inlet_temperature_k;
+  op.coolant.thermal_conductivity_w_per_m_k =
+      chemistry.electrolyte.thermal_conductivity_w_per_m_k;
+  op.coolant.volumetric_heat_capacity_j_per_m3_k =
+      chemistry.electrolyte.volumetric_heat_capacity_j_per_m3_k;
+  op.coolant.density_kg_per_m3 =
+      chemistry.electrolyte.density_kg_per_m3.at(array_spec.inlet_temperature_k);
+  op.coolant.dynamic_viscosity_pa_s =
+      chemistry.electrolyte.dynamic_viscosity_pa_s.at(array_spec.inlet_temperature_k);
+  return op;
+}
+
 SystemConfig power7_system_config() {
   SystemConfig config;
   config.power_spec = chip::Power7PowerSpec{};
@@ -28,6 +48,14 @@ SystemConfig power7_system_config() {
   config.stack = thermal::power7_microchannel_stack();
   config.grid_spec = pdn::PowerGridSpec{};
   config.vrm_spec = pdn::VrmSpec{};
+  config.validate();
+  return config;
+}
+
+SystemConfig two_die_system_config() {
+  SystemConfig config = power7_system_config();
+  config.stack = thermal::two_die_stack();
+  config.upper_die_power = {chip::memory_die_power_spec()};
   config.validate();
   return config;
 }

@@ -17,6 +17,10 @@ namespace brightsi::core {
 /// paper's case study from `power7_system_config()` and tweak from there.
 struct SystemConfig {
   chip::Power7PowerSpec power_spec;
+  /// Per-die workload of the dies stacked above the primary one, bottom to
+  /// top (same outline as the primary die). Size must equal the stack's
+  /// heat-source layer count minus one; empty for single-die stacks.
+  std::vector<chip::Power7PowerSpec> upper_die_power;
   flowcell::ArraySpec array_spec;
   electrochem::FlowCellChemistry chemistry;
   flowcell::FvmSettings fvm;
@@ -36,11 +40,25 @@ struct SystemConfig {
   double temperature_tolerance_k = 0.05;
 
   void validate() const;
+
+  /// The thermal operating point this config implies: spec flow and inlet
+  /// temperature, with the coolant properties evaluated from the
+  /// electrolyte chemistry at the inlet temperature. The single source of
+  /// truth for every thermal solve driver (cosim, missions, layer-split
+  /// queries) — the per-layer flow split must see exactly the coolant the
+  /// solves use.
+  [[nodiscard]] thermal::OperatingPoint thermal_operating_point() const;
 };
 
 /// The paper's case study: POWER7+ floorplan at full load, Table II array
 /// at 676 ml/min / 300 K, Fig. 8 PDN calibration, 50 % pump.
 [[nodiscard]] SystemConfig power7_system_config();
+
+/// The two-die 3D stack: the POWER7+ core die under a cache/DRAM die, with
+/// an interlayer microchannel layer above each die
+/// (thermal::two_die_stack). The pump total flow splits across the two
+/// channel layers at equal pressure drop.
+[[nodiscard]] SystemConfig two_die_system_config();
 
 }  // namespace brightsi::core
 

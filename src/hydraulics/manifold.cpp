@@ -1,6 +1,7 @@
 #include "hydraulics/manifold.h"
 
 #include "numerics/contracts.h"
+#include "numerics/root_finding.h"
 
 namespace brightsi::hydraulics {
 
@@ -33,6 +34,57 @@ std::vector<double> split_uniform(double total_flow_m3_per_s, int channel_count)
   ensure_non_negative(total_flow_m3_per_s, "total flow");
   return std::vector<double>(static_cast<std::size_t>(channel_count),
                              total_flow_m3_per_s / channel_count);
+}
+
+GroupSplit split_equal_pressure(double total_flow_m3_per_s,
+                                std::span<const ParallelChannelGroup> groups,
+                                double dynamic_viscosity_pa_s) {
+  ensure(!groups.empty(), "split_equal_pressure: no channel groups");
+  ensure_non_negative(total_flow_m3_per_s, "total flow");
+  ensure_positive(dynamic_viscosity_pa_s, "dynamic viscosity");
+
+  std::vector<double> conductances;
+  conductances.reserve(groups.size());
+  double total_conductance = 0.0;
+  for (const ParallelChannelGroup& group : groups) {
+    ensure(group.channel_count > 0, "split_equal_pressure: channel count must be positive");
+    const double g = group.channel_count * group.duct.hydraulic_conductance(
+                                               dynamic_viscosity_pa_s);
+    conductances.push_back(g);
+    total_conductance += g;
+  }
+  ensure(total_conductance > 0.0, "split_equal_pressure: zero total conductance");
+
+  GroupSplit split;
+  if (total_flow_m3_per_s == 0.0) {
+    split.per_group_flow_m3_per_s.assign(groups.size(), 0.0);
+    split.fraction.assign(groups.size(), 0.0);
+    return split;
+  }
+
+  // Every group sees the plenum-to-plenum dp; find the dp whose summed
+  // group flows reproduce the pump total. For the laminar conductance law
+  // this is linear in dp, but the bracketing root solve keeps the split
+  // correct for any monotone per-group flow law swapped in later.
+  auto flow_surplus = [&](double dp) {
+    double flow = 0.0;
+    for (const double g : conductances) {
+      flow += g * dp;
+    }
+    return flow - total_flow_m3_per_s;
+  };
+  const double dp_linear = total_flow_m3_per_s / total_conductance;
+  const auto root = numerics::find_root_brent(flow_surplus, 0.0, 2.0 * dp_linear,
+                                              1e-12 * dp_linear,
+                                              1e-12 * total_flow_m3_per_s, 64);
+  split.common_pressure_drop_pa = root.root;
+  split.per_group_flow_m3_per_s.reserve(groups.size());
+  split.fraction.reserve(groups.size());
+  for (const double g : conductances) {
+    split.per_group_flow_m3_per_s.push_back(g * split.common_pressure_drop_pa);
+    split.fraction.push_back(g / total_conductance);
+  }
+  return split;
 }
 
 }  // namespace brightsi::hydraulics

@@ -28,6 +28,30 @@ struct ManifoldSplit {
 /// Uniform split across `channel_count` identical channels.
 [[nodiscard]] std::vector<double> split_uniform(double total_flow_m3_per_s, int channel_count);
 
+/// A group of `channel_count` identical parallel ducts — one microchannel
+/// layer of a 3D stack, fed from the same inlet/outlet plena as every
+/// other layer.
+struct ParallelChannelGroup {
+  RectangularDuct duct;
+  int channel_count = 1;
+};
+
+/// Result of distributing a pump's total flow over parallel groups.
+struct GroupSplit {
+  std::vector<double> per_group_flow_m3_per_s;  ///< one entry per group
+  std::vector<double> fraction;                 ///< per-group share of the total
+  double common_pressure_drop_pa = 0.0;
+};
+
+/// Splits `total_flow` across parallel channel groups so every group sees
+/// the same plenum-to-plenum pressure drop: solves sum_i Q_i(dp) = Q_total
+/// for dp with the project root finder, where Q_i(dp) follows each group's
+/// laminar conductance. Deterministic; throws on an empty group list, a
+/// non-positive group, or a negative flow.
+[[nodiscard]] GroupSplit split_equal_pressure(double total_flow_m3_per_s,
+                                              std::span<const ParallelChannelGroup> groups,
+                                              double dynamic_viscosity_pa_s);
+
 }  // namespace brightsi::hydraulics
 
 #endif  // BRIGHTSI_HYDRAULICS_MANIFOLD_H

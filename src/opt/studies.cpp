@@ -85,6 +85,31 @@ Study vrm_placement_study() {
   return study;
 }
 
+/// How deep can the stack go? Die count, pump flow and cooling-layer
+/// height against net power under the same junction cap — the searchable
+/// counterpart of the stack_3d sweep plan. Every candidate is a full
+/// co-simulation with the interlayer flow split.
+Study stack_depth_study() {
+  Study study;
+  study.name = "stack_depth";
+  study.summary =
+      "3D-stack depth: dies x flow x cooling-layer height vs net power, T cap";
+  study.base = core::power7_system_config();
+  study.base.thermal_grid.axial_cells = 8;  // stacked solves are much larger
+  study.base.fvm.axial_steps = 60;
+  study.evaluator = sweep::stack_evaluator();
+  study.objective = maximize_metric("net_w");
+  study.objective.constraints.push_back(peak_temperature_cap());
+  study.objective.pareto_maximize = "net_w";
+  study.objective.pareto_minimize = "peak_t_c";
+  study.parameters = {
+      {"die_count", 1.0, 3.0, true},
+      {"flow_ml_min", 200.0, 2000.0, false},
+      {"stack_channel_height_um", 200.0, 800.0, false},
+  };
+  return study;
+}
+
 }  // namespace
 
 const std::vector<StudyDescription>& registered_studies() {
@@ -95,6 +120,8 @@ const std::vector<StudyDescription>& registered_studies() {
        "co-simulated flow x inlet-T operating point; net power vs peak-T Pareto front"},
       {"vrm_placement",
        "VRM tap grid and output resistance vs cache-rail integrity"},
+      {"stack_depth",
+       "3D-stack depth: dies x flow x cooling-layer height vs net power under the cap"},
   };
   return studies;
 }
@@ -108,6 +135,9 @@ Study make_registered_study(const std::string& name) {
   }
   if (name == "vrm_placement") {
     return vrm_placement_study();
+  }
+  if (name == "stack_depth") {
+    return stack_depth_study();
   }
   throw std::invalid_argument("unknown optimization study: " + name);
 }

@@ -11,6 +11,7 @@
 #include "flowcell/cell_array.h"
 #include "flowcell/colaminar_fvm.h"
 #include "flowcell/reference_data.h"
+#include "hydraulics/pump.h"
 
 namespace brightsi::repro {
 
@@ -121,6 +122,27 @@ FigureTable fig9_block_table(const thermal::ThermalSolution& solution) {
   for (const th::BlockTemperature& block : solution.block_temperatures) {
     table.labels.push_back(block.name);
     table.rows.push_back({block.mean_k - 273.15, block.max_k - 273.15});
+  }
+  return table;
+}
+
+FigureTable pumping_energy_table(double channel_height_scale) {
+  FigureTable table;
+  table.columns = {"flow_ml_min", "velocity_m_per_s", "reynolds", "dp_bar",
+                   "pump_w",      "current_1v_a",     "net_w"};
+  const double eta_pump = 0.5;  // paper Section III-B
+  for (const double ml : {48.0, 150.0, 300.0, 676.0, 1500.0, 3000.0, 6000.0}) {
+    fc::ArraySpec spec = fc::power7_array_spec();
+    spec.geometry.channel_height_m *= channel_height_scale;
+    spec.total_flow_m3_per_s = ml * 1e-6 / 60.0;
+    const fc::FlowCellArray array(spec, ec::power7_array_chemistry());
+    const auto hydraulics = array.hydraulics_at_spec_flow();
+    const double pump_w = hydraulics::pumping_power_w(
+        hydraulics.pressure_drop_pa, spec.total_flow_m3_per_s, eta_pump);
+    const double current = array.current_at_voltage(1.0);
+    table.rows.push_back({ml, hydraulics.mean_velocity_m_per_s, hydraulics.reynolds,
+                          hydraulics.pressure_drop_pa / 1e5, pump_w, current,
+                          current - pump_w});
   }
   return table;
 }

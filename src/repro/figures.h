@@ -62,6 +62,16 @@ struct FigureTable {
 /// "block", columns mean_c, max_c.
 [[nodiscard]] FigureTable fig9_block_table(const thermal::ThermalSolution& solution);
 
+/// Section III-B pumping power / energy balance: the bench/pumping_energy
+/// flow sweep as a pinned table. One row per flow rate (48 to 6000 ml/min
+/// around the Table II 676 ml/min point): flow_ml_min, velocity_m_per_s,
+/// reynolds, dp_bar, pump_w (eta = 0.5), current_1v_a, net_w. The
+/// reproduced shape is the positive net energy balance at the spec flow.
+/// `channel_height_scale` shrinks/stretches the channel etch depth — a
+/// deliberate hydraulic-resistance perturbation the golden suite uses to
+/// prove the pinned dp/pumping columns actually constrain the hydraulics.
+[[nodiscard]] FigureTable pumping_energy_table(double channel_height_scale = 1.0);
+
 /// Writes the table as CSV: header row (label column first when present),
 /// then one row per entry, numeric cells in shortest-round-trip form.
 void write_figure_csv(std::ostream& os, const FigureTable& table);

@@ -197,6 +197,42 @@ SweepEvaluator mission_evaluator() {
   return evaluator;
 }
 
+SweepEvaluator stack_evaluator() {
+  SweepEvaluator evaluator;
+  evaluator.name = "stack";
+  evaluator.metrics = {"dies",          "channel_layers", "converged",
+                       "peak_t_c",      "coolant_out_c",  "net_w",
+                       "pump_w",        "bus_v",          "bottom_flow_frac",
+                       "flow_frac_min", "flow_frac_max",  "fluid_heat_w"};
+  evaluator.fn = [](const core::SystemConfig& config, const ScenarioSpec& scenario,
+                    WorkerState& worker) {
+    const core::IntegratedMpsocSystem system(
+        config, worker.thermal_models.model_for(config, scenario));
+    const core::CoSimReport report = system.run();
+    double frac_min = 1.0;
+    double frac_max = 0.0;
+    for (const core::ChannelLayerReport& layer : report.layer_flows) {
+      frac_min = std::min(frac_min, layer.fraction);
+      frac_max = std::max(frac_max, layer.fraction);
+    }
+    return std::vector<double>{
+        static_cast<double>(report.die_count),
+        static_cast<double>(report.layer_flows.size()),
+        report.converged ? 1.0 : 0.0,
+        report.peak_temperature_c,
+        report.mean_coolant_outlet_c,
+        report.net_power_w,
+        report.pumping_power_w,
+        report.supply.bus_voltage_v,
+        report.layer_flows.empty() ? 0.0 : report.layer_flows.front().fraction,
+        frac_min,
+        frac_max,
+        report.thermal.fluid_heat_absorbed_w,
+    };
+  };
+  return evaluator;
+}
+
 SweepEvaluator make_evaluator(const std::string& name) {
   if (name == "cosim") {
     return cosim_evaluator();
@@ -213,8 +249,12 @@ SweepEvaluator make_evaluator(const std::string& name) {
   if (name == "mission") {
     return mission_evaluator();
   }
+  if (name == "stack") {
+    return stack_evaluator();
+  }
   throw std::invalid_argument("unknown evaluator: " + name +
-                              " (expected cosim, array, array_thermal, rail or mission)");
+                              " (expected cosim, array, array_thermal, rail, mission or "
+                              "stack)");
 }
 
 }  // namespace brightsi::sweep

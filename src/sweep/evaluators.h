@@ -60,8 +60,15 @@ struct SweepEvaluator {
 /// scenarios that share thermal structure.
 [[nodiscard]] SweepEvaluator mission_evaluator();
 
+/// Full co-simulation of a (possibly multi-die) 3D stack with the
+/// stack-level observables: die/channel-layer counts, peak and coolant
+/// temperatures, net power, and the equal-pressure-drop flow split across
+/// the cooling layers (bottom-layer and extreme fractions, so the column
+/// set stays fixed while the layer count varies across scenarios).
+[[nodiscard]] SweepEvaluator stack_evaluator();
+
 /// Built-in evaluator by name ("cosim", "array", "array_thermal", "rail",
-/// "mission"); throws std::invalid_argument on anything else.
+/// "mission", "stack"); throws std::invalid_argument on anything else.
 [[nodiscard]] SweepEvaluator make_evaluator(const std::string& name);
 
 }  // namespace brightsi::sweep

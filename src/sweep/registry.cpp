@@ -124,6 +124,32 @@ SweepPlan mission_endurance_plan() {
   return plan;
 }
 
+/// Multi-die 3D-stack design space: die count x pump flow x cooling-layer
+/// height, every scenario a full co-simulation with the equal-pressure-drop
+/// flow split across the interlayer cooling layers. Two extra scenarios pin
+/// the two-die top-only-cooling baseline against its interlayer twin.
+SweepPlan stack_3d_plan() {
+  SweepPlan plan;
+  plan.name = "stack_3d";
+  plan.base = core::power7_system_config();
+  plan.base.thermal_grid.axial_cells = 8;  // stacked solves are much larger
+  plan.base.fvm.axial_steps = 60;
+  plan.evaluator = stack_evaluator();
+  plan.add_grid({{"die_count", {1.0, 2.0, 3.0}},
+                 {"flow_ml_min", {676.0, 1352.0}},
+                 {"stack_channel_height_um", {400.0, 800.0}}});
+  for (const double interlayer : {1.0, 0.0}) {
+    ScenarioSpec scenario;
+    scenario.name = interlayer != 0.0 ? "2 dies, interlayer cooling"
+                                      : "2 dies, top-only cooling";
+    scenario.set("die_count", 2.0);
+    scenario.set("interlayer", interlayer);
+    scenario.set("flow_ml_min", 676.0);
+    plan.add(std::move(scenario));
+  }
+  return plan;
+}
+
 }  // namespace
 
 const std::vector<PlanDescription>& registered_plans() {
@@ -138,6 +164,8 @@ const std::vector<PlanDescription>& registered_plans() {
        "co-simulated flow x inlet-temperature operating grid (3x3)"},
       {"mission_endurance",
        "transient mission endurance map: tank x workload x flow x dt"},
+      {"stack_3d",
+       "multi-die 3D stacks: dies x flow x channel height, interlayer flow split"},
   };
   return plans;
 }
@@ -157,6 +185,9 @@ SweepPlan make_registered_plan(const std::string& name) {
   }
   if (name == "mission_endurance") {
     return mission_endurance_plan();
+  }
+  if (name == "stack_3d") {
+    return stack_3d_plan();
   }
   throw std::invalid_argument("unknown sweep plan: " + name);
 }

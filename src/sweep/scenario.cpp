@@ -1,8 +1,114 @@
 #include "sweep/scenario.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <variant>
 
 namespace brightsi::sweep {
+
+namespace {
+
+/// Introspection of the current stack so the 3D-stack parameters compose
+/// in any override order: each rebuild reads the knobs it does not set
+/// from the configuration's present stack.
+int stack_die_count(const thermal::StackSpec& stack) {
+  return std::max(1, stack.source_layer_count());
+}
+
+bool stack_is_interlayer(const thermal::StackSpec& stack) {
+  // One channel layer per die = interlayer cooling; fewer = top-only.
+  return stack.channel_layer_count() >= stack.source_layer_count();
+}
+
+int stack_bulk_z_cells(const thermal::StackSpec& stack) {
+  // The bulk layer of a die is the non-source solid below the top cap —
+  // matched positionally (not by z_cells) so a stack_layers=1 override
+  // survives later rebuilds.
+  for (std::size_t i = 0; i + 1 < stack.layers.size(); ++i) {
+    if (const auto* solid = std::get_if<thermal::SolidLayerSpec>(&stack.layers[i])) {
+      if (!solid->has_heat_source) {
+        return solid->z_cells;
+      }
+    }
+  }
+  return 3;
+}
+
+double stack_channel_height_m(const thermal::StackSpec& stack) {
+  const thermal::MicrochannelLayerSpec* channel = stack.bottom_channel_layer();
+  return channel != nullptr ? channel->layer_height_m
+                            : thermal::MicrochannelLayerSpec{}.layer_height_m;
+}
+
+void set_channel_heights(core::SystemConfig& config, double height_m) {
+  for (thermal::StackLayer& layer : config.stack.layers) {
+    if (auto* channel = std::get_if<thermal::MicrochannelLayerSpec>(&layer)) {
+      channel->layer_height_m = height_m;
+    }
+  }
+  // The bottom cooling layer IS the flow cell, so its etch depth drives
+  // the electrochemical/hydraulic channel model too.
+  config.array_spec.geometry.channel_height_m = height_m;
+}
+
+/// Replaces the stack with a multi_die_stack and sizes the per-die
+/// workload list to match (upper dies default to the cache/DRAM preset;
+/// existing upper-die specs are preserved). The current stack's channel
+/// height is carried over, so the stack knobs compose in any override
+/// order.
+void rebuild_stack(core::SystemConfig& config, int die_count, bool interlayer,
+                   int bulk_z_cells) {
+  const double channel_height_m = stack_channel_height_m(config.stack);
+  config.stack = thermal::multi_die_stack(die_count, interlayer, bulk_z_cells);
+  config.upper_die_power.resize(static_cast<std::size_t>(die_count - 1),
+                                chip::memory_die_power_spec());
+  for (thermal::StackLayer& layer : config.stack.layers) {
+    if (auto* channel = std::get_if<thermal::MicrochannelLayerSpec>(&layer)) {
+      channel->layer_height_m = channel_height_m;
+    }
+  }
+}
+
+/// Shared applier of die_count / interlayer / stack_layers: every stack
+/// override of the scenario is read jointly (falling back to the current
+/// stack for absent knobs), so the rebuild is idempotent and immune to
+/// override order — in particular, interlayer=0 on a single-die stack (an
+/// unrepresentable intermediate) is not lost when die_count applies later.
+void apply_stack_rebuild(core::SystemConfig& config, double, const ScenarioSpec& scenario) {
+  const int dies = static_cast<int>(
+      scenario.get("die_count").value_or(stack_die_count(config.stack)));
+  const bool interlayer =
+      scenario.get("interlayer")
+          .value_or(stack_is_interlayer(config.stack) ? 1.0 : 0.0) != 0.0;
+  const int bulk_z = static_cast<int>(
+      scenario.get("stack_layers").value_or(stack_bulk_z_cells(config.stack)));
+  rebuild_stack(config, dies, interlayer, bulk_z);
+}
+
+/// power_scale applier: every die of the stack scales, so stacked dies
+/// must exist first — when the scenario also carries stack overrides, the
+/// (idempotent) joint rebuild runs before scaling, making the pair immune
+/// to override order (the custom CLI puts --set before --grid axes).
+void apply_power_scale(core::SystemConfig& config, double factor,
+                       const ScenarioSpec& scenario) {
+  if (scenario.get("die_count") || scenario.get("interlayer") ||
+      scenario.get("stack_layers")) {
+    apply_stack_rebuild(config, 0.0, scenario);
+  }
+  auto scale = [factor](chip::Power7PowerSpec& spec) {
+    spec.core_w_per_cm2 *= factor;
+    spec.cache_w_per_cm2 *= factor;
+    spec.logic_w_per_cm2 *= factor;
+    spec.io_w_per_cm2 *= factor;
+    spec.background_w_per_cm2 *= factor;
+  };
+  scale(config.power_spec);
+  for (chip::Power7PowerSpec& upper : config.upper_die_power) {
+    scale(upper);
+  }
+}
+
+}  // namespace
 
 void ScenarioSpec::set(const std::string& param, double value) {
   for (auto& [name, existing] : overrides) {
@@ -58,16 +164,20 @@ const std::vector<ParameterInfo>& parameter_registry() {
          c.thermal_grid.axial_cells = static_cast<int>(v);
        },
        /*thermal_structural=*/true},
+      {"die_count", "dies in the 3D stack (rebuilds a multi-die stack + per-die workload)",
+       nullptr, /*thermal_structural=*/true, apply_stack_rebuild},
+      {"interlayer", "1 = microchannel layer above every die, 0 = top-die cooling only",
+       nullptr, /*thermal_structural=*/true, apply_stack_rebuild},
+      {"stack_layers", "z-cells per die bulk layer (3D-stack vertical resolution)",
+       nullptr, /*thermal_structural=*/true, apply_stack_rebuild},
+      {"stack_channel_height_um",
+       "cooling-layer etch depth, every stack layer + the flow-cell channels (um)",
+       [](core::SystemConfig& c, double v) { set_channel_heights(c, v * 1e-6); },
+       /*thermal_structural=*/true},
       {"pump_efficiency", "hydraulic pump efficiency (0, 1]",
        [](core::SystemConfig& c, double v) { c.pump_efficiency = v; }},
-      {"power_scale", "multiplier on every floorplan power density (workload knob)",
-       [](core::SystemConfig& c, double v) {
-         c.power_spec.core_w_per_cm2 *= v;
-         c.power_spec.cache_w_per_cm2 *= v;
-         c.power_spec.logic_w_per_cm2 *= v;
-         c.power_spec.io_w_per_cm2 *= v;
-         c.power_spec.background_w_per_cm2 *= v;
-       }},
+      {"power_scale", "multiplier on every die's power densities (workload knob)",
+       nullptr, /*thermal_structural=*/false, apply_power_scale},
       {"vrm_count_x", "VRM tap columns over the die",
        [](core::SystemConfig& c, double v) {
          c.vrm_spec.count_x = static_cast<int>(v);
@@ -131,7 +241,9 @@ core::SystemConfig apply_scenario(const core::SystemConfig& base,
     if (info == nullptr) {
       throw std::invalid_argument("unknown sweep parameter: " + param);
     }
-    if (info->apply) {
+    if (info->apply_with_scenario) {
+      info->apply_with_scenario(config, value, scenario);
+    } else if (info->apply) {
       info->apply(config, value);
     }
   }

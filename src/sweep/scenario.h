@@ -41,6 +41,12 @@ struct ParameterInfo {
   /// parameter that grows a thermal-structural effect must set this flag —
   /// the cache cross-checks the invariants it can and throws on a miss.
   bool thermal_structural = false;
+  /// For parameters whose effect depends on sibling overrides (the 3D
+  /// stack knobs: a rebuilt stack must honor every stack override of the
+  /// scenario, not just the one being applied): receives the full
+  /// scenario and takes precedence over `apply`.
+  std::function<void(core::SystemConfig&, double, const ScenarioSpec&)> apply_with_scenario =
+      nullptr;
 };
 
 /// All legal scenario parameters, in presentation order.

@@ -6,6 +6,7 @@
 
 #include "chip/power_map.h"
 #include "hydraulics/duct.h"
+#include "hydraulics/manifold.h"
 #include "numerics/contracts.h"
 #include "thermal/solve_context.h"
 
@@ -37,27 +38,37 @@ ThermalModel::ThermalModel(StackSpec stack, double die_width_m, double die_heigh
 
 void ThermalModel::build_operator_pattern() {
   // Any valid operating point stamps the same (row, col) positions — only
-  // the coefficient values differ — so a synthetic operating point and an
-  // empty floorplan suffice. capacity_over_dt = 1 includes the
+  // the coefficient values differ — so a synthetic operating point and
+  // empty floorplans suffice. capacity_over_dt = 1 includes the
   // backward-Euler mass diagonal, making the pattern shared between steady
   // and transient solves.
   OperatingPoint op;
   op.total_flow_m3_per_s = 1e-6;
   const chip::Floorplan empty(die_width_m_, die_height_m_);
+  std::vector<const chip::Floorplan*> floorplans(static_cast<std::size_t>(source_count_),
+                                                 &empty);
   const numerics::Grid3<double> previous(nx_, ny_, nz_, 0.0);
   numerics::TripletList triplets;
   std::vector<double> rhs;
-  fill_operator(empty, op, 1.0, &previous, &triplets, &rhs);
+  fill_operator(floorplans, op, layer_flow_split(op), 1.0, &previous, &triplets, &rhs);
   const auto n = static_cast<int>(rhs.size());
   pattern_ = numerics::CsrMatrix::from_triplets(n, n, triplets);
 }
 
 void ThermalModel::build_grid() {
+  channel_specs_.clear();
+  for (const MicrochannelLayerSpec* channel : stack_.channel_layers()) {
+    channel_specs_.push_back(*channel);
+  }
+  source_count_ = stack_.source_layer_count();
+
   // --- x discretization ---
+  // validate() guarantees every channel layer shares one x-pattern, so the
+  // bottom layer defines the columns for the whole stack.
   x_edges_.clear();
   column_channel_.clear();
   if (stack_.has_channels()) {
-    const MicrochannelLayerSpec& ch = *stack_.channel_layer;
+    const MicrochannelLayerSpec& ch = channel_specs_.front();
     const int n = ch.channel_count;
     const double pattern_width = n * ch.channel_width_m + (n - 1) * ch.interior_wall_width_m;
     const double edge_wall = (die_width_m_ - pattern_width) / 2.0;
@@ -97,67 +108,100 @@ void ThermalModel::build_grid() {
 
   // --- z discretization ---
   z_slices_.clear();
-  auto push_layer = [&](const SolidLayerSpec& layer, bool channel) {
-    for (int k = 0; k < layer.z_cells; ++k) {
-      ZSlice slice;
-      slice.dz = layer.thickness_m / layer.z_cells;
-      slice.material = layer.material;
-      slice.is_channel_layer = channel;
-      slice.is_source = layer.has_heat_source && k == 0;  // bottom cell of the layer
-      z_slices_.push_back(slice);
+  int die_index = 0;
+  int channel_index = 0;
+  for (const StackLayer& layer : stack_.layers) {
+    if (const auto* solid = std::get_if<SolidLayerSpec>(&layer)) {
+      for (int k = 0; k < solid->z_cells; ++k) {
+        ZSlice slice;
+        slice.dz = solid->thickness_m / solid->z_cells;
+        slice.material = solid->material;
+        slice.channel_layer = -1;
+        // Power enters the bottom cell of a heat-source layer.
+        slice.die = (solid->has_heat_source && k == 0) ? die_index : -1;
+        z_slices_.push_back(slice);
+      }
+      die_index += std::get<SolidLayerSpec>(layer).has_heat_source ? 1 : 0;
+      continue;
     }
-  };
-  for (const auto& layer : stack_.layers_below) {
-    push_layer(layer, false);
-  }
-  if (stack_.has_channels()) {
-    const MicrochannelLayerSpec& ch = *stack_.channel_layer;
+    const auto& ch = std::get<MicrochannelLayerSpec>(layer);
     for (int k = 0; k < ch.z_cells; ++k) {
       ZSlice slice;
       slice.dz = ch.layer_height_m / ch.z_cells;
       slice.material = ch.wall_material;
-      slice.is_channel_layer = true;
-      slice.is_source = false;
+      slice.channel_layer = channel_index;
+      slice.die = -1;
       z_slices_.push_back(slice);
     }
-  }
-  for (const auto& layer : stack_.layers_above) {
-    push_layer(layer, false);
+    ++channel_index;
   }
   nz_ = static_cast<int>(z_slices_.size());
 }
 
 int ThermalModel::channel_count() const {
-  return stack_.has_channels() ? stack_.channel_layer->channel_count : 0;
+  return channel_specs_.empty() ? 0 : channel_specs_.front().channel_count;
 }
 
-double ThermalModel::film_coefficient(const OperatingPoint& op) const {
-  const MicrochannelLayerSpec& ch = *stack_.channel_layer;
+double ThermalModel::film_coefficient(const OperatingPoint& op, int channel_layer) const {
+  const MicrochannelLayerSpec& ch = channel_specs_[static_cast<std::size_t>(channel_layer)];
   const hydraulics::RectangularDuct duct(ch.channel_width_m, ch.layer_height_m, die_height_m_);
   const double nusselt =
       (ch.nusselt_override > 0.0) ? ch.nusselt_override : duct.nusselt_h1();
   return nusselt * op.coolant.thermal_conductivity_w_per_m_k / duct.hydraulic_diameter();
 }
 
-void ThermalModel::fill_operator(const chip::Floorplan& floorplan, const OperatingPoint& op,
-                                 double capacity_over_dt, const numerics::Grid3<double>* previous,
-                                 numerics::TripletList* triplets, std::vector<double>* rhs) const {
+std::vector<double> ThermalModel::layer_flow_split(const OperatingPoint& op) const {
+  const std::size_t layers = channel_specs_.size();
+  if (layers == 0) {
+    return {};
+  }
+  if (layers == 1) {
+    // Exact single-layer path: hands the pump total through untouched, so
+    // one-die solves are bit-identical to the pre-3D model.
+    return {op.total_flow_m3_per_s};
+  }
+  std::vector<hydraulics::ParallelChannelGroup> groups;
+  groups.reserve(layers);
+  for (const MicrochannelLayerSpec& ch : channel_specs_) {
+    groups.push_back({hydraulics::RectangularDuct(ch.channel_width_m, ch.layer_height_m,
+                                                  die_height_m_),
+                      ch.channel_count});
+  }
+  return hydraulics::split_equal_pressure(op.total_flow_m3_per_s, groups,
+                                          op.coolant.dynamic_viscosity_pa_s)
+      .per_group_flow_m3_per_s;
+}
+
+void ThermalModel::fill_operator(std::span<const chip::Floorplan* const> floorplans,
+                                 const OperatingPoint& op,
+                                 const std::vector<double>& layer_flows,
+                                 double capacity_over_dt,
+                                 const numerics::Grid3<double>* previous,
+                                 numerics::TripletList* triplets,
+                                 std::vector<double>* rhs) const {
   const auto cell_count =
       static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_) * static_cast<std::size_t>(nz_);
   rhs->assign(cell_count, 0.0);
   triplets->clear();
 
-  const double h_film = stack_.has_channels() ? film_coefficient(op) : 0.0;
-  const double per_channel_flow =
-      stack_.has_channels() ? op.total_flow_m3_per_s / channel_count() : 0.0;
+  // Per-channel-layer film coefficients and per-channel flows.
+  std::vector<double> h_film(channel_specs_.size(), 0.0);
+  std::vector<double> per_channel_flow(channel_specs_.size(), 0.0);
+  for (std::size_t layer = 0; layer < channel_specs_.size(); ++layer) {
+    h_film[layer] = film_coefficient(op, static_cast<int>(layer));
+    per_channel_flow[layer] = layer_flows[layer] / channel_count();
+  }
 
-  // Heat sources on the (non-uniform) column grid.
+  // Heat sources on the (non-uniform) column grid, one map per die.
   std::vector<double> y_edges(static_cast<std::size_t>(ny_) + 1);
   for (int i = 0; i <= ny_; ++i) {
     y_edges[static_cast<std::size_t>(i)] = die_height_m_ * i / ny_;
   }
-  const numerics::Grid2<double> power = chip::rasterize_power_w_on_edges(
-      floorplan, x_edges_, y_edges);
+  std::vector<numerics::Grid2<double>> power;
+  power.reserve(floorplans.size());
+  for (const chip::Floorplan* floorplan : floorplans) {
+    power.push_back(chip::rasterize_power_w_on_edges(*floorplan, x_edges_, y_edges));
+  }
 
   auto stamp_pair = [&](std::size_t a, std::size_t b, double conductance) {
     triplets->add(static_cast<int>(a), static_cast<int>(a), conductance);
@@ -168,7 +212,7 @@ void ThermalModel::fill_operator(const chip::Floorplan& floorplan, const Operati
 
   // Conduction/convection between neighboring cells. A solid-solid face
   // uses harmonic half-cell resistances; a fluid-solid face uses the solid
-  // half-cell plus the film resistance 1/h.
+  // half-cell plus the film resistance 1/h of the fluid cell's layer.
   auto link = [&](int ixa, int iya, int iza, int ixb, int iyb, int izb, double area,
                   double half_a, double half_b) {
     const bool fa = is_fluid(ixa, iza);
@@ -185,11 +229,14 @@ void ThermalModel::fill_operator(const chip::Floorplan& floorplan, const Operati
                                  .material.thermal_conductivity_w_per_m_k;
     }
     if (fa != fb) {
-      resistance += 1.0 / h_film;
+      const int layer = fa ? z_slices_[static_cast<std::size_t>(iza)].channel_layer
+                           : z_slices_[static_cast<std::size_t>(izb)].channel_layer;
+      resistance += 1.0 / h_film[static_cast<std::size_t>(layer)];
     }
     if (fa && fb) {
       // Fluid-fluid contact (stacked z-cells of one channel): molecular
-      // conduction through the coolant.
+      // conduction through the coolant. validate() forbids adjacent
+      // channel layers, so both cells belong to the same layer.
       resistance = (half_a + half_b) / op.coolant.thermal_conductivity_w_per_m_k;
     }
     stamp_pair(a, b, area / resistance);
@@ -218,11 +265,13 @@ void ThermalModel::fill_operator(const chip::Floorplan& floorplan, const Operati
                z_slices_[static_cast<std::size_t>(iz) + 1].dz / 2.0);
         }
 
-        // Advection for fluid cells: upwind from -y.
+        // Advection for fluid cells: upwind from -y, with this layer's
+        // share of the pump flow.
         if (fluid) {
-          const double flow_fraction = slice.dz / stack_.channel_layer->layer_height_m;
+          const auto layer = static_cast<std::size_t>(slice.channel_layer);
+          const double flow_fraction = slice.dz / channel_specs_[layer].layer_height_m;
           const double c_adv = op.coolant.volumetric_heat_capacity_j_per_m3_k *
-                               per_channel_flow * flow_fraction;
+                               per_channel_flow[layer] * flow_fraction;
           triplets->add(static_cast<int>(me), static_cast<int>(me), c_adv);
           if (iy == 0) {
             (*rhs)[me] += c_adv * op.inlet_temperature_k;
@@ -242,9 +291,9 @@ void ThermalModel::fill_operator(const chip::Floorplan& floorplan, const Operati
           (*rhs)[me] += g * stack_.ambient_temperature_k;
         }
 
-        // Heat sources.
-        if (slice.is_source) {
-          (*rhs)[me] += power(ix, iy);
+        // Heat sources: this slice's die injects its own power map.
+        if (slice.die >= 0) {
+          (*rhs)[me] += power[static_cast<std::size_t>(slice.die)](ix, iy);
         }
 
         // Backward-Euler mass term.
@@ -268,6 +317,12 @@ ThermalSolution ThermalModel::solve_steady(const chip::Floorplan& floorplan,
   return context.solve_steady(floorplan, op);
 }
 
+ThermalSolution ThermalModel::solve_steady(std::span<const chip::Floorplan* const> floorplans,
+                                           const OperatingPoint& op) const {
+  ThermalSolveContext context(*this);
+  return context.solve_steady(floorplans, op);
+}
+
 ThermalSolution ThermalModel::step_transient(const numerics::Grid3<double>& state,
                                              const chip::Floorplan& floorplan,
                                              const OperatingPoint& op, double dt_s) const {
@@ -275,14 +330,21 @@ ThermalSolution ThermalModel::step_transient(const numerics::Grid3<double>& stat
   return context.step_transient(state, floorplan, op, dt_s);
 }
 
+ThermalSolution ThermalModel::step_transient(const numerics::Grid3<double>& state,
+                                             std::span<const chip::Floorplan* const> floorplans,
+                                             const OperatingPoint& op, double dt_s) const {
+  ThermalSolveContext context(*this);
+  return context.step_transient(state, floorplans, op, dt_s);
+}
+
 numerics::Grid3<double> ThermalModel::uniform_state(double temperature_k) const {
   return numerics::Grid3<double>(nx_, ny_, nz_, temperature_k);
 }
 
-ThermalSolution ThermalModel::package_solution(std::vector<double> temperatures,
-                                               const chip::Floorplan& floorplan,
-                                               const OperatingPoint& op,
-                                               numerics::SolverReport report) const {
+ThermalSolution ThermalModel::package_solution(
+    std::vector<double> temperatures, std::span<const chip::Floorplan* const> floorplans,
+    const OperatingPoint& op, const std::vector<double>& layer_flows,
+    numerics::SolverReport report) const {
   ThermalSolution out;
   out.solver_report = report;
   out.temperature_k = numerics::Grid3<double>(nx_, ny_, nz_, 0.0);
@@ -304,82 +366,100 @@ ThermalSolution ThermalModel::package_solution(std::vector<double> temperatures,
     }
   }
 
-  // Source-layer map and per-block summaries.
-  int source_iz = 0;
+  // Per-die source-layer maps and block summaries. Dies above the bottom
+  // one report blocks under a "die<k>:" prefix so rows stay unambiguous.
+  std::vector<int> source_iz(static_cast<std::size_t>(source_count_), 0);
   for (int iz = 0; iz < nz_; ++iz) {
-    if (z_slices_[static_cast<std::size_t>(iz)].is_source) {
-      source_iz = iz;
-      break;
+    const int die = z_slices_[static_cast<std::size_t>(iz)].die;
+    if (die >= 0) {
+      source_iz[static_cast<std::size_t>(die)] = iz;
     }
   }
-  out.source_layer_map_k = numerics::Grid2<double>(nx_, ny_, 0.0);
-  for (int iy = 0; iy < ny_; ++iy) {
-    for (int ix = 0; ix < nx_; ++ix) {
-      out.source_layer_map_k(ix, iy) = out.temperature_k(ix, iy, source_iz);
-    }
-  }
-  for (const chip::Block& block : floorplan.blocks()) {
-    BlockTemperature bt;
-    bt.name = block.name;
-    double weighted = 0.0;
-    double area = 0.0;
-    bt.max_k = 0.0;
+  out.die_maps_k.reserve(static_cast<std::size_t>(source_count_));
+  out.total_power_w = 0.0;
+  for (int die = 0; die < source_count_; ++die) {
+    const int iz = source_iz[static_cast<std::size_t>(die)];
+    numerics::Grid2<double> map(nx_, ny_, 0.0);
     for (int iy = 0; iy < ny_; ++iy) {
       for (int ix = 0; ix < nx_; ++ix) {
-        const chip::Rect cell{x_edges_[static_cast<std::size_t>(ix)], dy_ * iy,
-                              dx_[static_cast<std::size_t>(ix)], dy_};
-        const double overlap = cell.intersection_area(block.footprint);
-        if (overlap > 0.0) {
-          weighted += out.source_layer_map_k(ix, iy) * overlap;
-          area += overlap;
-          bt.max_k = std::max(bt.max_k, out.source_layer_map_k(ix, iy));
-        }
+        map(ix, iy) = out.temperature_k(ix, iy, iz);
       }
     }
-    bt.mean_k = (area > 0.0) ? weighted / area : 0.0;
-    out.block_temperatures.push_back(bt);
+    const chip::Floorplan& floorplan = *floorplans[static_cast<std::size_t>(die)];
+    out.total_power_w += floorplan.total_power();
+    const std::string prefix = die == 0 ? "" : "die" + std::to_string(die) + ":";
+    for (const chip::Block& block : floorplan.blocks()) {
+      BlockTemperature bt;
+      bt.name = prefix + block.name;
+      double weighted = 0.0;
+      double area = 0.0;
+      bt.max_k = 0.0;
+      for (int iy = 0; iy < ny_; ++iy) {
+        for (int ix = 0; ix < nx_; ++ix) {
+          const chip::Rect cell{x_edges_[static_cast<std::size_t>(ix)], dy_ * iy,
+                                dx_[static_cast<std::size_t>(ix)], dy_};
+          const double overlap = cell.intersection_area(block.footprint);
+          if (overlap > 0.0) {
+            weighted += map(ix, iy) * overlap;
+            area += overlap;
+            bt.max_k = std::max(bt.max_k, map(ix, iy));
+          }
+        }
+      }
+      bt.mean_k = (area > 0.0) ? weighted / area : 0.0;
+      out.block_temperatures.push_back(bt);
+    }
+    out.die_maps_k.push_back(std::move(map));
   }
 
-  // Channel fluid profiles + energy bookkeeping.
-  out.total_power_w = floorplan.total_power();
+  // Channel fluid profiles + energy bookkeeping, one block per layer.
   if (stack_.has_channels()) {
     const int n_channels = channel_count();
-    out.channel_fluid_axial_k.assign(static_cast<std::size_t>(n_channels),
+    out.channel_layers.resize(channel_specs_.size());
+    for (std::size_t layer = 0; layer < channel_specs_.size(); ++layer) {
+      ChannelLayerSolution& layer_out = out.channel_layers[layer];
+      layer_out.flow_m3_per_s = layer_flows[layer];
+      layer_out.flow_fraction =
+          op.total_flow_m3_per_s > 0.0 ? layer_flows[layer] / op.total_flow_m3_per_s : 0.0;
+      layer_out.fluid_axial_k.assign(static_cast<std::size_t>(n_channels),
                                      std::vector<double>(static_cast<std::size_t>(ny_), 0.0));
-    out.channel_outlet_k.assign(static_cast<std::size_t>(n_channels), 0.0);
-    const double per_channel_flow = op.total_flow_m3_per_s / n_channels;
+      layer_out.outlet_k.assign(static_cast<std::size_t>(n_channels), 0.0);
+      const double per_channel_flow = layer_flows[layer] / n_channels;
 
-    std::vector<int> fluid_z;
-    for (int iz = 0; iz < nz_; ++iz) {
-      if (z_slices_[static_cast<std::size_t>(iz)].is_channel_layer) {
-        fluid_z.push_back(iz);
-      }
-    }
-    for (int ix = 0; ix < nx_; ++ix) {
-      const int c = column_channel_[static_cast<std::size_t>(ix)];
-      if (c < 0) {
-        continue;
-      }
-      for (int iy = 0; iy < ny_; ++iy) {
-        double sum = 0.0;
-        for (const int iz : fluid_z) {
-          sum += out.temperature_k(ix, iy, iz);
+      std::vector<int> fluid_z;
+      for (int iz = 0; iz < nz_; ++iz) {
+        if (z_slices_[static_cast<std::size_t>(iz)].channel_layer ==
+            static_cast<int>(layer)) {
+          fluid_z.push_back(iz);
         }
-        out.channel_fluid_axial_k[static_cast<std::size_t>(c)][static_cast<std::size_t>(iy)] =
-            sum / static_cast<double>(fluid_z.size());
       }
-      out.channel_outlet_k[static_cast<std::size_t>(c)] =
-          out.channel_fluid_axial_k[static_cast<std::size_t>(c)].back();
+      for (int ix = 0; ix < nx_; ++ix) {
+        const int c = column_channel_[static_cast<std::size_t>(ix)];
+        if (c < 0) {
+          continue;
+        }
+        for (int iy = 0; iy < ny_; ++iy) {
+          double sum = 0.0;
+          for (const int iz : fluid_z) {
+            sum += out.temperature_k(ix, iy, iz);
+          }
+          layer_out.fluid_axial_k[static_cast<std::size_t>(c)][static_cast<std::size_t>(iy)] =
+              sum / static_cast<double>(fluid_z.size());
+        }
+        layer_out.outlet_k[static_cast<std::size_t>(c)] =
+            layer_out.fluid_axial_k[static_cast<std::size_t>(c)].back();
 
-      // Advected heat: per z-cell flow share times the outlet/inlet delta.
-      for (const int iz : fluid_z) {
-        const double flow_fraction = z_slices_[static_cast<std::size_t>(iz)].dz /
-                                     stack_.channel_layer->layer_height_m;
-        const double c_adv = op.coolant.volumetric_heat_capacity_j_per_m3_k *
-                             per_channel_flow * flow_fraction;
-        out.fluid_heat_absorbed_w +=
-            c_adv * (out.temperature_k(ix, ny_ - 1, iz) - op.inlet_temperature_k);
+        // Advected heat: per z-cell flow share times the outlet/inlet delta.
+        for (const int iz : fluid_z) {
+          const double flow_fraction = z_slices_[static_cast<std::size_t>(iz)].dz /
+                                       channel_specs_[layer].layer_height_m;
+          const double c_adv = op.coolant.volumetric_heat_capacity_j_per_m3_k *
+                               per_channel_flow * flow_fraction;
+          layer_out.heat_absorbed_w +=
+              c_adv * (out.temperature_k(ix, ny_ - 1, iz) - op.inlet_temperature_k);
+        }
       }
+      out.fluid_heat_absorbed_w += layer_out.heat_absorbed_w;
     }
   }
   if (stack_.top_heat_transfer_w_per_m2_k > 0.0) {

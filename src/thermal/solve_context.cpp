@@ -21,38 +21,71 @@ ThermalSolveContext::ThermalSolveContext(const ThermalModel& model)
 
 void ThermalSolveContext::reset() { warm_ = false; }
 
+void ThermalSolveContext::check_floorplans(
+    std::span<const chip::Floorplan* const> floorplans) const {
+  ensure(static_cast<int>(floorplans.size()) == model_->die_count(),
+         "thermal solve needs one floorplan per heat-source layer: got " +
+             std::to_string(floorplans.size()) + " for " +
+             std::to_string(model_->die_count()) + " dies");
+  for (const chip::Floorplan* floorplan : floorplans) {
+    ensure(floorplan != nullptr, "thermal solve: null floorplan");
+    ensure(floorplan->die_width() == model_->die_width_m() &&
+               floorplan->die_height() == model_->die_height_m(),
+           "thermal solve: floorplan outline does not match the model's die");
+  }
+}
+
 ThermalSolution ThermalSolveContext::solve_steady(const chip::Floorplan& floorplan,
                                                   const OperatingPoint& op) {
+  const chip::Floorplan* floorplans[] = {&floorplan};
+  return solve_steady(floorplans, op);
+}
+
+ThermalSolution ThermalSolveContext::solve_steady(
+    std::span<const chip::Floorplan* const> floorplans, const OperatingPoint& op) {
   const StackSpec& stack = model_->stack();
   op.validate(stack.has_channels());
+  check_floorplans(floorplans);
   ensure(!stack.has_channels() || stack.top_heat_transfer_w_per_m2_k > 0.0 ||
              op.total_flow_m3_per_s > 0.0,
          "steady solve needs a heat sink (coolant flow or top film)");
   ensure(stack.has_channels() || stack.top_heat_transfer_w_per_m2_k > 0.0,
          "solid stack needs a top film coefficient for a steady solution");
-  return solve(floorplan, op, 0.0, nullptr, &steady_scatter_, "ThermalModel::solve_steady");
+  return solve(floorplans, op, 0.0, nullptr, &steady_scatter_, "ThermalModel::solve_steady");
 }
 
 ThermalSolution ThermalSolveContext::step_transient(const numerics::Grid3<double>& state,
                                                     const chip::Floorplan& floorplan,
                                                     const OperatingPoint& op, double dt_s) {
+  const chip::Floorplan* floorplans[] = {&floorplan};
+  return step_transient(state, floorplans, op, dt_s);
+}
+
+ThermalSolution ThermalSolveContext::step_transient(
+    const numerics::Grid3<double>& state, std::span<const chip::Floorplan* const> floorplans,
+    const OperatingPoint& op, double dt_s) {
   op.validate(model_->stack().has_channels());
+  check_floorplans(floorplans);
   ensure_positive(dt_s, "transient step");
   ensure(state.nx() == model_->nx() && state.ny() == model_->ny() && state.nz() == model_->nz(),
          "transient state has the wrong shape");
   // The step's own previous state is the best initial guess.
   temperatures_ = state.data();
   warm_ = true;
-  return solve(floorplan, op, 1.0 / dt_s, &state, &transient_scatter_,
+  return solve(floorplans, op, 1.0 / dt_s, &state, &transient_scatter_,
                "ThermalModel::step_transient");
 }
 
-ThermalSolution ThermalSolveContext::solve(const chip::Floorplan& floorplan,
+ThermalSolution ThermalSolveContext::solve(std::span<const chip::Floorplan* const> floorplans,
                                            const OperatingPoint& op, double capacity_over_dt,
                                            const numerics::Grid3<double>* previous,
                                            std::vector<int>* scatter_plan, const char* what) {
   const auto assembly_start = std::chrono::steady_clock::now();
-  model_->fill_operator(floorplan, op, capacity_over_dt, previous, &triplets_, &rhs_);
+  // One equal-pressure split per solve, shared by the operator fill and
+  // the solution packaging.
+  const std::vector<double> layer_flows = model_->layer_flow_split(op);
+  model_->fill_operator(floorplans, op, layer_flows, capacity_over_dt, previous,
+                        &triplets_, &rhs_);
   matrix_.refill_from_triplets(triplets_, scatter_plan);
   if (preconditioner_ != nullptr) {
     preconditioner_->refactor(matrix_);
@@ -77,7 +110,7 @@ ThermalSolution ThermalSolveContext::solve(const chip::Floorplan& floorplan,
                              std::to_string(report.iterations) + " iterations)");
   }
   warm_ = true;
-  return model_->package_solution(temperatures_, floorplan, op, report);
+  return model_->package_solution(temperatures_, floorplans, op, layer_flows, report);
 }
 
 }  // namespace brightsi::thermal

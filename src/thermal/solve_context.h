@@ -13,10 +13,13 @@
 //  * `reset()` restores cold-start behavior without dropping allocations;
 //    callers that must be reproducible across repeated runs (e.g.
 //    IntegratedMpsocSystem::run) reset at the start of each run.
+//  * Multi-die stacks pass one floorplan per heat-source layer (bottom to
+//    top); the single-floorplan overloads require a single-die stack.
 #ifndef BRIGHTSI_THERMAL_SOLVE_CONTEXT_H
 #define BRIGHTSI_THERMAL_SOLVE_CONTEXT_H
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "thermal/model.h"
@@ -43,12 +46,24 @@ class ThermalSolveContext {
   [[nodiscard]] ThermalSolution solve_steady(const chip::Floorplan& floorplan,
                                              const OperatingPoint& operating_point);
 
+  /// Multi-die steady solve: one floorplan per heat-source layer, bottom
+  /// to top, all sharing the model's die outline.
+  [[nodiscard]] ThermalSolution solve_steady(
+      std::span<const chip::Floorplan* const> floorplans,
+      const OperatingPoint& operating_point);
+
   /// One backward-Euler step from `state`; the step itself is the warm
   /// start. Same contract as ThermalModel::step_transient.
   [[nodiscard]] ThermalSolution step_transient(const numerics::Grid3<double>& state,
                                                const chip::Floorplan& floorplan,
                                                const OperatingPoint& operating_point,
                                                double dt_s);
+
+  /// Multi-die transient step: one floorplan per heat-source layer.
+  [[nodiscard]] ThermalSolution step_transient(
+      const numerics::Grid3<double>& state,
+      std::span<const chip::Floorplan* const> floorplans,
+      const OperatingPoint& operating_point, double dt_s);
 
   /// Drops the warm-start field so the next steady solve starts cold (from
   /// a uniform inlet-temperature guess). Keeps the matrix, preconditioner,
@@ -59,10 +74,12 @@ class ThermalSolveContext {
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
-  [[nodiscard]] ThermalSolution solve(const chip::Floorplan& floorplan,
+  [[nodiscard]] ThermalSolution solve(std::span<const chip::Floorplan* const> floorplans,
                                       const OperatingPoint& op, double capacity_over_dt,
                                       const numerics::Grid3<double>* previous,
                                       std::vector<int>* scatter_plan, const char* what);
+
+  void check_floorplans(std::span<const chip::Floorplan* const> floorplans) const;
 
   const ThermalModel* model_;
   numerics::CsrMatrix matrix_;         // model pattern, refilled per solve

@@ -1,12 +1,23 @@
 // Layer-stack description of the chip + microchannel package, bottom to
-// top, in the 3D-ICE style: solid layers (one of which carries the
-// floorplan heat sources) and one microchannel layer whose columns
-// alternate between silicon walls and coolant channels.
+// top, in the 3D-ICE style: an ordered sequence of solid layers (any of
+// which may carry a die's floorplan heat sources) and microchannel layers
+// whose columns alternate between silicon walls and coolant channels.
+//
+// The sequence is fully general: a 3D stack interleaves several
+// heat-source dies with interlayer cooling layers (Ao & Ramiere-style
+// through-chip channels), while the paper's single-die POWER7+ package is
+// just the three-layer special case. Constraints enforced by validate():
+//  * at least one solid layer carries heat sources;
+//  * the bottom layer is solid (channels are etched between/above dies);
+//  * no two channel layers are adjacent (a solid wall separates them);
+//  * every channel layer shares one x-pattern (channel count, width,
+//    interior wall width), so the channel columns align vertically and the
+//    thermal grid stays a tensor product.
 #ifndef BRIGHTSI_THERMAL_STACK_H
 #define BRIGHTSI_THERMAL_STACK_H
 
-#include <optional>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "thermal/materials.h"
@@ -25,10 +36,11 @@ struct SolidLayerSpec {
   friend bool operator==(const SolidLayerSpec&, const SolidLayerSpec&) = default;
 };
 
-/// The microchannel layer: `channel_count` channels of `channel_width_m`
+/// A microchannel layer: `channel_count` channels of `channel_width_m`
 /// separated by `interior_wall_width_m` walls; the leftover die width is
 /// split between two edge walls. Flow runs along the die height (y).
 struct MicrochannelLayerSpec {
+  std::string name = "microchannel";
   int channel_count = 88;                 ///< Table II
   double channel_width_m = 200e-6;        ///< Table II
   double interior_wall_width_m = 100e-6;  ///< 300 um pitch - 200 um width
@@ -41,28 +53,46 @@ struct MicrochannelLayerSpec {
   /// of 3D-ICE for back-side-etched channels.
   double nusselt_override = 0.0;
 
+  /// Channel pitch (one channel + one interior wall).
+  [[nodiscard]] double pitch_m() const { return channel_width_m + interior_wall_width_m; }
+
   friend bool operator==(const MicrochannelLayerSpec&, const MicrochannelLayerSpec&) = default;
 };
 
-/// Whole-stack description.
+/// One stack entry: solid or microchannel.
+using StackLayer = std::variant<SolidLayerSpec, MicrochannelLayerSpec>;
+
+/// Whole-stack description: layers bottom to top.
 struct StackSpec {
-  std::vector<SolidLayerSpec> layers_below;           ///< bottom -> channel layer
-  std::optional<MicrochannelLayerSpec> channel_layer; ///< absent = solid stack
-  std::vector<SolidLayerSpec> layers_above;           ///< channel layer -> top
+  std::vector<StackLayer> layers;
   /// Optional convective boundary on the top surface (air cooler /
   /// conventional heat-sink baseline); 0 = adiabatic.
   double top_heat_transfer_w_per_m2_k = 0.0;
   double ambient_temperature_k = 300.0;
 
+  void add(SolidLayerSpec layer) { layers.emplace_back(std::move(layer)); }
+  void add(MicrochannelLayerSpec layer) { layers.emplace_back(std::move(layer)); }
+
   void validate() const;
-  [[nodiscard]] bool has_channels() const { return channel_layer.has_value(); }
+
+  [[nodiscard]] bool has_channels() const { return channel_layer_count() > 0; }
+  /// Microchannel layers in the stack.
+  [[nodiscard]] int channel_layer_count() const;
+  /// Heat-source (die) layers in the stack.
+  [[nodiscard]] int source_layer_count() const;
+  /// Channel layers bottom to top (borrowed pointers into `layers`).
+  [[nodiscard]] std::vector<const MicrochannelLayerSpec*> channel_layers() const;
+  /// The bottom-most channel layer — the one coupled to the flow-cell
+  /// electrochemistry — or nullptr for a solid stack.
+  [[nodiscard]] const MicrochannelLayerSpec* bottom_channel_layer() const;
+  [[nodiscard]] MicrochannelLayerSpec* bottom_channel_layer();
 
   /// Structural identity — lets solve-context sharers verify a model was
   /// built from exactly this stack.
   friend bool operator==(const StackSpec&, const StackSpec&) = default;
 };
 
-/// The paper's POWER7+ package: 10 um active source plane + 450 um bulk
+/// The paper's POWER7+ package: 10 um active source plane + 650 um bulk
 /// silicon below the 400 um microchannel layer (etched into the die back
 /// side), closed by a 100 um silicon cap. Adiabatic except for the coolant.
 [[nodiscard]] StackSpec power7_microchannel_stack();
@@ -71,6 +101,18 @@ struct StackSpec {
 /// on top with an effective air-cooler film coefficient.
 [[nodiscard]] StackSpec power7_conventional_stack(double effective_sink_h_w_per_m2_k = 2500.0,
                                                   double ambient_k = 318.15);
+
+/// A vertically integrated stack of `die_count` dies (each a 10 um active
+/// source plane over `bulk_z_cells`-cell bulk silicon), with a Table II
+/// microchannel layer above every die when `interlayer_cooling` is true, or
+/// only above the topmost die when false, closed by a 100 um silicon cap.
+/// Layer names are die0_active, die0_bulk, cool0, ..., cap_si.
+[[nodiscard]] StackSpec multi_die_stack(int die_count, bool interlayer_cooling = true,
+                                        int bulk_z_cells = 3);
+
+/// The two-die interlayer-cooled stack (POWER7+ core die under a
+/// cache/DRAM die): multi_die_stack(2).
+[[nodiscard]] StackSpec two_die_stack();
 
 }  // namespace brightsi::thermal
 

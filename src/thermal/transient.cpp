@@ -88,6 +88,9 @@ TransientEngine::TransientEngine(const ThermalModel& model,
                                  const TransientEngineOptions& options)
     : model_(&model), operating_point_(operating_point), options_(options), context_(model) {
   ensure(options_.sample_stride >= 1, "sample stride must be >= 1");
+  ensure(static_cast<int>(options_.upper_die_floorplans.size()) == model.die_count() - 1,
+         "transient engine needs one upper-die floorplan per heat-source layer above "
+         "the primary die");
   state_ = options_.initial_state != nullptr
                ? *options_.initial_state
                : model.uniform_state(operating_point.inlet_temperature_k);
@@ -109,11 +112,18 @@ void TransientEngine::run(const chip::WorkloadTrace& trace, const FloorplanFn& f
   const std::vector<TransientStep> schedule =
       make_transient_schedule(trace, options_.schedule);
   const int last = schedule.back().index;
+  // The workload drives the bottom die; upper dies keep their static maps.
+  std::vector<const chip::Floorplan*> floorplans(options_.upper_die_floorplans.size() + 1,
+                                                 nullptr);
+  for (std::size_t die = 0; die < options_.upper_die_floorplans.size(); ++die) {
+    floorplans[die + 1] = &options_.upper_die_floorplans[die];
+  }
   for (const TransientStep& step : schedule) {
     const chip::WorkloadPhase& phase = *step.phase;
     const chip::Floorplan floorplan = floorplan_for(phase, step);
+    floorplans.front() = &floorplan;
     ThermalSolution solution =
-        context_.step_transient(state_, floorplan, operating_point_, step.dt_s());
+        context_.step_transient(state_, floorplans, operating_point_, step.dt_s());
     ++steps_taken_;
 
     const double mean_outlet_k =

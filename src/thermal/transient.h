@@ -64,6 +64,10 @@ struct TransientEngineOptions {
   /// point's inlet temperature. Copied at construction (borrowed only for
   /// the constructor call).
   const numerics::Grid3<double>* initial_state = nullptr;
+  /// Power maps of the dies stacked above the workload-driven primary die
+  /// (static across the trace), bottom to top. Size must equal the model's
+  /// die_count() - 1; leave empty for single-die stacks.
+  std::vector<chip::Floorplan> upper_die_floorplans;
 };
 
 /// Drives a WorkloadTrace through a ThermalModel with backward-Euler

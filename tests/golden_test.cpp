@@ -126,6 +126,41 @@ TEST(Golden, Fig9ThermalSummaryAndBlocks) {
                     });
 }
 
+TEST(Golden, PumpingEnergyBalance) {
+  const re::FigureTable table = re::pumping_energy_table();
+  // Sanity before pinning: the paper's headline shape — generation exceeds
+  // the pumping cost at the Table II spec flow (row 3: 676 ml/min).
+  ASSERT_EQ(table.rows.size(), 7u);
+  EXPECT_GT(table.rows[3].back(), 0.0);
+  const std::map<std::string, Tolerance> tolerances = {
+      {"flow_ml_min", {0.0, 1e-12}},
+      {"velocity_m_per_s", {1e-9, 1e-12}},
+      {"reynolds", {1e-9, 1e-9}},
+      {"dp_bar", {1e-9, 1e-12}},
+      {"pump_w", {1e-9, 1e-12}},
+      {"current_1v_a", {2e-4, 1e-9}},
+      {"net_w", {2e-4, 1e-6}},
+  };
+  compare_or_update("pumping.csv", table, tolerances);
+
+  if (!update_mode) {
+    // A 2 % channel-height squeeze (hydraulic-resistance perturbation)
+    // must move the pinned dp column beyond its tolerance — i.e. the
+    // golden genuinely constrains the hydraulics, not just the headline.
+    const re::FigureTable perturbed = re::pumping_energy_table(0.98);
+    const std::size_t dp_column = 3;
+    const Tolerance dp_tolerance = tolerances.at("dp_bar");
+    bool tripped = false;
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+      const double reference = table.rows[r][dp_column];
+      const double drifted = perturbed.rows[r][dp_column];
+      tripped = tripped || std::abs(drifted - reference) >
+                               dp_tolerance.abs + dp_tolerance.rel * std::abs(reference);
+    }
+    EXPECT_TRUE(tripped) << "hydraulic perturbation slipped through the dp tolerance";
+  }
+}
+
 // ------------------------------------------------- figure CSV round trip
 TEST(FigureCsv, RoundTripsWithAndWithoutLabels) {
   re::FigureTable table;

@@ -66,7 +66,7 @@ TEST(Integration, ThermalProfilesFeedElectrochemistry) {
   const auto r = system.run();
   // Channel profiles exist, warm downstream, and the coupled current
   // exceeds the isothermal one (warmer electrolyte helps).
-  ASSERT_EQ(r.thermal.channel_fluid_axial_k.size(), 88u);
+  ASSERT_EQ(r.thermal.channel_fluid_axial_k().size(), 88u);
   EXPECT_GT(r.coupled_current_a, r.isothermal_current_a);
 }
 
@@ -144,9 +144,11 @@ TEST(Integration, ThermalModelAndArrayAgreeOnGeometry) {
   th::ThermalModel model(config.stack, ch::kPower7DieWidthM, ch::kPower7DieHeightM,
                          config.thermal_grid);
   EXPECT_EQ(model.channel_count(), config.array_spec.channel_count);
-  EXPECT_DOUBLE_EQ(config.stack.channel_layer->channel_width_m,
+  const th::MicrochannelLayerSpec* channel_layer = config.stack.bottom_channel_layer();
+  ASSERT_NE(channel_layer, nullptr);
+  EXPECT_DOUBLE_EQ(channel_layer->channel_width_m,
                    config.array_spec.geometry.electrode_gap_m);
-  EXPECT_DOUBLE_EQ(config.stack.channel_layer->layer_height_m,
+  EXPECT_DOUBLE_EQ(channel_layer->layer_height_m,
                    config.array_spec.geometry.channel_height_m);
 }
 

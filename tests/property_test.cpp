@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <variant>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -404,6 +406,70 @@ TEST(SparseReuse, MismatchedPatternsAreRejected) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SparseReuseSweep, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ------------------------------------------- multi-die stack energy balance
+// For any valid N-layer stack (1-3 dies, interlayer or top-only cooling,
+// randomized layer thicknesses/heights/discretization and flow), the steady
+// solve must conserve energy: the sum of per-die injected power equals the
+// coolant enthalpy rise plus boundary losses to 1e-6 relative.
+
+class StackEnergyBalanceSweep : public ::testing::TestWithParam<int> {};  // seed
+
+TEST_P(StackEnergyBalanceSweep, RandomizedStacksConserveEnergy) {
+  Lcg rng(static_cast<std::uint64_t>(GetParam()) + 77);
+  const int dies = rng.uniform_int(1, 3);
+  const bool interlayer = rng.uniform_int(0, 1) == 1;
+  const int bulk_z = rng.uniform_int(1, 3);
+
+  th::StackSpec stack = th::multi_die_stack(dies, interlayer, bulk_z);
+  for (th::StackLayer& layer : stack.layers) {
+    if (auto* solid = std::get_if<th::SolidLayerSpec>(&layer)) {
+      if (!solid->has_heat_source && solid->name != "cap_si") {
+        solid->thickness_m = rng.uniform(300e-6, 800e-6);
+      }
+    } else {
+      std::get<th::MicrochannelLayerSpec>(layer).layer_height_m =
+          rng.uniform(200e-6, 800e-6);
+    }
+  }
+  stack.validate();
+
+  th::ThermalModel::GridSettings grid;
+  grid.axial_cells = 6;
+  const th::ThermalModel model(stack, ch::kPower7DieWidthM, ch::kPower7DieHeightM, grid);
+  EXPECT_EQ(model.die_count(), dies);
+
+  const ch::Floorplan core_die = ch::make_power7_floorplan();
+  const ch::Floorplan memory_die = ch::make_power7_floorplan(ch::memory_die_power_spec());
+  std::vector<const ch::Floorplan*> floorplans = {&core_die};
+  for (int die = 1; die < dies; ++die) {
+    floorplans.push_back(&memory_die);
+  }
+
+  th::OperatingPoint op;
+  op.total_flow_m3_per_s = rng.uniform(200.0, 1352.0) * 1e-6 / 60.0;
+  op.inlet_temperature_k = 300.15;
+  const th::ThermalSolution sol = model.solve_steady(floorplans, op);
+
+  // Injected power bookkeeping matches the floorplans...
+  double injected = 0.0;
+  for (const ch::Floorplan* floorplan : floorplans) {
+    injected += floorplan->total_power();
+  }
+  EXPECT_NEAR(sol.total_power_w, injected, injected * 1e-12);
+  // ...and leaves through the coolant to 1e-6 relative (adiabatic stack).
+  EXPECT_LT(sol.energy_balance_error, 1e-6)
+      << "dies=" << dies << " interlayer=" << interlayer << " bulk_z=" << bulk_z;
+  // The per-layer heat breakdown sums to the total absorbed heat.
+  double per_layer = 0.0;
+  for (const th::ChannelLayerSolution& layer : sol.channel_layers) {
+    per_layer += layer.heat_absorbed_w;
+  }
+  EXPECT_NEAR(per_layer, sol.fluid_heat_absorbed_w, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StackEnergyBalanceSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
 
 // ------------------------------------------------------ power-map invariants
 class RasterFilterSweep : public ::testing::TestWithParam<int> {};

@@ -3,6 +3,8 @@
 // rows against direct evaluations of the underlying models.
 #include <sstream>
 
+#include <variant>
+
 #include <gtest/gtest.h>
 
 #include "core/cosim.h"
@@ -236,6 +238,120 @@ TEST(SweepRegistry, PlansValidateAndMatchTheBenches) {
   EXPECT_EQ(sw::make_registered_plan("ablation_geometry").scenarios.size(), 14u);
   EXPECT_EQ(sw::make_registered_plan("ablation_vrm_placement").scenarios.size(), 12u);
   EXPECT_EQ(sw::make_registered_plan("temp_sensitivity").scenarios.size(), 3u);
+  // The 3D-stack plan: 3x2x2 grid + the interlayer-vs-top-only pair.
+  EXPECT_EQ(sw::make_registered_plan("stack_3d").scenarios.size(), 14u);
+}
+
+TEST(ScenarioSpec, StackParametersRebuildTheMultiDieStack) {
+  const co::SystemConfig base = co::power7_system_config();
+
+  sw::ScenarioSpec two_dies;
+  two_dies.set("die_count", 2.0);
+  const co::SystemConfig stacked = sw::apply_scenario(base, two_dies);
+  EXPECT_EQ(stacked.stack.source_layer_count(), 2);
+  EXPECT_EQ(stacked.stack.channel_layer_count(), 2);  // interlayer by default
+  ASSERT_EQ(stacked.upper_die_power.size(), 1u);       // per-die workload sized
+  EXPECT_NO_THROW(stacked.validate());
+
+  sw::ScenarioSpec top_only;
+  top_only.set("die_count", 3.0);
+  top_only.set("interlayer", 0.0);
+  const co::SystemConfig capped = sw::apply_scenario(base, top_only);
+  EXPECT_EQ(capped.stack.source_layer_count(), 3);
+  EXPECT_EQ(capped.stack.channel_layer_count(), 1);
+  EXPECT_EQ(capped.upper_die_power.size(), 2u);
+
+  sw::ScenarioSpec resolved;
+  resolved.set("die_count", 2.0);
+  resolved.set("stack_layers", 5.0);
+  resolved.set("stack_channel_height_um", 800.0);
+  const co::SystemConfig fine = sw::apply_scenario(base, resolved);
+  for (const brightsi::thermal::MicrochannelLayerSpec* channel :
+       fine.stack.channel_layers()) {
+    EXPECT_DOUBLE_EQ(channel->layer_height_m, 800e-6);
+  }
+  // All four stack parameters key the worker structure cache.
+  for (const char* name :
+       {"die_count", "interlayer", "stack_layers", "stack_channel_height_um"}) {
+    const sw::ParameterInfo* info = sw::find_parameter(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_TRUE(info->thermal_structural) << name;
+  }
+}
+
+TEST(ScenarioSpec, StackParametersComposeInAnyOverrideOrder) {
+  const co::SystemConfig base = co::power7_system_config();
+
+  // height-then-dies must equal dies-then-height (a rebuild carries the
+  // current channel height forward instead of resetting it).
+  sw::ScenarioSpec height_first;
+  height_first.set("stack_channel_height_um", 800.0);
+  height_first.set("die_count", 2.0);
+  sw::ScenarioSpec dies_first;
+  dies_first.set("die_count", 2.0);
+  dies_first.set("stack_channel_height_um", 800.0);
+  const co::SystemConfig a = sw::apply_scenario(base, height_first);
+  const co::SystemConfig b = sw::apply_scenario(base, dies_first);
+  EXPECT_TRUE(a.stack == b.stack);
+  for (const brightsi::thermal::MicrochannelLayerSpec* channel : a.stack.channel_layers()) {
+    EXPECT_DOUBLE_EQ(channel->layer_height_m, 800e-6);
+  }
+  // The bottom cooling layer is the flow cell: the etch depth drives the
+  // electrochemical channel model too.
+  EXPECT_DOUBLE_EQ(a.array_spec.geometry.channel_height_m, 800e-6);
+  EXPECT_DOUBLE_EQ(b.array_spec.geometry.channel_height_m, 800e-6);
+
+  // stack_layers=1 must survive a later rebuild (bulk layers are matched
+  // positionally, not by z_cells > 1).
+  sw::ScenarioSpec coarse;
+  coarse.set("die_count", 2.0);
+  coarse.set("stack_layers", 1.0);
+  coarse.set("interlayer", 0.0);
+  const co::SystemConfig c = sw::apply_scenario(base, coarse);
+  EXPECT_EQ(c.stack.channel_layer_count(), 1);  // interlayer=0 honored
+  int bulk_layers = 0;
+  for (const auto& layer : c.stack.layers) {
+    if (const auto* solid = std::get_if<brightsi::thermal::SolidLayerSpec>(&layer)) {
+      if (!solid->has_heat_source && solid->name != "cap_si") {
+        EXPECT_EQ(solid->z_cells, 1) << solid->name;
+        ++bulk_layers;
+      }
+    }
+  }
+  EXPECT_EQ(bulk_layers, 2);
+
+  // interlayer=0 set BEFORE die_count (the README's `--set interlayer=0
+  // --grid die_count=...` shape: common overrides precede grid axes) must
+  // not be lost to the unrepresentable single-die intermediate state.
+  sw::ScenarioSpec interlayer_first;
+  interlayer_first.set("interlayer", 0.0);
+  interlayer_first.set("die_count", 3.0);
+  const co::SystemConfig d = sw::apply_scenario(base, interlayer_first);
+  EXPECT_EQ(d.stack.source_layer_count(), 3);
+  EXPECT_EQ(d.stack.channel_layer_count(), 1);
+}
+
+TEST(ScenarioSpec, PowerScaleCoversStackedDiesInEitherOrder) {
+  const co::SystemConfig base = co::power7_system_config();
+  const brightsi::chip::Power7PowerSpec preset = brightsi::chip::memory_die_power_spec();
+  for (const bool scale_first : {false, true}) {
+    sw::ScenarioSpec scenario;
+    if (scale_first) {
+      // The custom CLI's shape: --set power_scale=2 lands before the
+      // --grid die_count axis.
+      scenario.set("power_scale", 2.0);
+      scenario.set("die_count", 2.0);
+    } else {
+      scenario.set("die_count", 2.0);
+      scenario.set("power_scale", 2.0);
+    }
+    const co::SystemConfig scaled = sw::apply_scenario(base, scenario);
+    ASSERT_EQ(scaled.upper_die_power.size(), 1u) << "scale_first=" << scale_first;
+    EXPECT_DOUBLE_EQ(scaled.upper_die_power[0].core_w_per_cm2, 2.0 * preset.core_w_per_cm2)
+        << "scale_first=" << scale_first;
+    EXPECT_DOUBLE_EQ(scaled.power_spec.core_w_per_cm2,
+                     2.0 * base.power_spec.core_w_per_cm2);
+  }
 }
 
 TEST(SweepRegistry, VrmPlanReproducesTheEdgeVsDistributedShape) {

@@ -1,9 +1,13 @@
 // Tests of the compact thermal model: analytic limits, conservation
 // properties, monotonicity in flow/power, transient convergence to steady
 // state and the POWER7+ microchannel stack.
+#include <algorithm>
 #include <cmath>
 #include <functional>
+#include <span>
 #include <string>
+#include <variant>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -43,6 +47,20 @@ th::OperatingPoint nominal_op() {
   return op;
 }
 
+/// Asserts that `fn` throws std::invalid_argument whose message contains
+/// `expected` — the validate() contract is that errors name the offending
+/// layer.
+template <typename Fn>
+void expect_invalid_with(const Fn& fn, const std::string& expected) {
+  try {
+    fn();
+    FAIL() << "expected std::invalid_argument containing '" << expected << "'";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(expected), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
 // ------------------------------------------------------------------- stacks
 TEST(Stack, Power7StackValidates) {
   EXPECT_NO_THROW(th::power7_microchannel_stack().validate());
@@ -52,22 +70,93 @@ TEST(Stack, Power7StackValidates) {
 TEST(Stack, Power7StackShape) {
   const auto stack = th::power7_microchannel_stack();
   ASSERT_TRUE(stack.has_channels());
-  EXPECT_EQ(stack.channel_layer->channel_count, 88);
-  EXPECT_DOUBLE_EQ(stack.channel_layer->channel_width_m, 200e-6);
-  EXPECT_DOUBLE_EQ(stack.channel_layer->layer_height_m, 400e-6);
-  EXPECT_TRUE(stack.layers_below.front().has_heat_source);
+  EXPECT_EQ(stack.channel_layer_count(), 1);
+  EXPECT_EQ(stack.source_layer_count(), 1);
+  const th::MicrochannelLayerSpec* channel = stack.bottom_channel_layer();
+  ASSERT_NE(channel, nullptr);
+  EXPECT_EQ(channel->channel_count, 88);
+  EXPECT_DOUBLE_EQ(channel->channel_width_m, 200e-6);
+  EXPECT_DOUBLE_EQ(channel->layer_height_m, 400e-6);
+  EXPECT_TRUE(std::get<th::SolidLayerSpec>(stack.layers.front()).has_heat_source);
 }
 
 TEST(Stack, RejectsSourcelessStack) {
   auto stack = th::power7_microchannel_stack();
-  stack.layers_below.front().has_heat_source = false;
-  EXPECT_THROW(stack.validate(), std::invalid_argument);
+  std::get<th::SolidLayerSpec>(stack.layers.front()).has_heat_source = false;
+  expect_invalid_with([&] { stack.validate(); }, "no layer carries the heat sources");
 }
 
 TEST(Stack, ConventionalStackHasTopFilm) {
   const auto stack = th::power7_conventional_stack(2500.0, 318.15);
   EXPECT_FALSE(stack.has_channels());
   EXPECT_DOUBLE_EQ(stack.top_heat_transfer_w_per_m2_k, 2500.0);
+}
+
+TEST(Stack, RejectsZeroOrNegativeThicknessNamingTheLayer) {
+  auto stack = th::power7_microchannel_stack();
+  std::get<th::SolidLayerSpec>(stack.layers[1]).thickness_m = 0.0;
+  expect_invalid_with([&] { stack.validate(); }, "bulk_si");
+  std::get<th::SolidLayerSpec>(stack.layers[1]).thickness_m = -1e-6;
+  expect_invalid_with([&] { stack.validate(); }, "layer thickness (bulk_si)");
+}
+
+TEST(Stack, RejectsChannelWiderThanPitchNamingTheLayer) {
+  auto stack = th::power7_microchannel_stack();
+  stack.bottom_channel_layer()->interior_wall_width_m = 0.0;
+  expect_invalid_with([&] { stack.validate(); },
+                      "channel wider than pitch (microchannel)");
+  stack.bottom_channel_layer()->interior_wall_width_m = -5e-6;
+  expect_invalid_with([&] { stack.validate(); }, "channel wider than pitch");
+}
+
+TEST(Stack, RejectsZeroZCellsNamingTheLayer) {
+  auto stack = th::power7_microchannel_stack();
+  std::get<th::SolidLayerSpec>(stack.layers[1]).z_cells = 0;
+  expect_invalid_with([&] { stack.validate(); }, "layer z_cells (bulk_si)");
+
+  auto channel_stack = th::power7_microchannel_stack();
+  channel_stack.bottom_channel_layer()->z_cells = 0;
+  expect_invalid_with([&] { channel_stack.validate(); },
+                      "channel layer z_cells (microchannel)");
+}
+
+TEST(Stack, RejectsAdjacentChannelLayersNamingBoth) {
+  auto stack = th::power7_microchannel_stack();
+  th::MicrochannelLayerSpec second = *stack.bottom_channel_layer();
+  second.name = "extra_channel";
+  // Insert right after the existing channel layer (before the cap).
+  stack.layers.insert(stack.layers.end() - 1, second);
+  expect_invalid_with(
+      [&] { stack.validate(); },
+      "adjacent channel layers 'microchannel' and 'extra_channel'");
+}
+
+TEST(Stack, RejectsChannelLayerAtTheBottom) {
+  th::StackSpec stack;
+  stack.add(th::MicrochannelLayerSpec{});
+  stack.add(th::SolidLayerSpec{"die", 500e-6, 2, th::silicon(), true});
+  expect_invalid_with([&] { stack.validate(); }, "cannot be the bottom layer");
+}
+
+TEST(Stack, RejectsMisalignedChannelPatternsAcrossLayers) {
+  auto stack = th::two_die_stack();
+  auto* channels = stack.bottom_channel_layer();
+  channels->channel_count = 44;  // upper layer still has 88
+  expect_invalid_with([&] { stack.validate(); }, "does not match the channel pattern");
+}
+
+TEST(Stack, MultiDieFactoryShapes) {
+  const auto two = th::two_die_stack();
+  EXPECT_EQ(two.source_layer_count(), 2);
+  EXPECT_EQ(two.channel_layer_count(), 2);
+
+  const auto top_only = th::multi_die_stack(3, /*interlayer_cooling=*/false);
+  EXPECT_EQ(top_only.source_layer_count(), 3);
+  EXPECT_EQ(top_only.channel_layer_count(), 1);
+
+  const auto single = th::multi_die_stack(1);
+  EXPECT_EQ(single.source_layer_count(), 1);
+  EXPECT_EQ(single.channel_layer_count(), 1);
 }
 
 // --------------------------------------------------------------- grid build
@@ -83,7 +172,7 @@ TEST(ThermalModel, GridFollowsChannelPattern) {
 
 TEST(ThermalModel, RejectsChannelPatternWiderThanDie) {
   auto stack = th::power7_microchannel_stack();
-  stack.channel_layer->channel_count = 200;
+  stack.bottom_channel_layer()->channel_count = 200;
   EXPECT_THROW(th::ThermalModel(stack, ch::kPower7DieWidthM, ch::kPower7DieHeightM),
                std::invalid_argument);
 }
@@ -106,10 +195,10 @@ TEST(ThermalModel, CaloricBalanceMatchesAnalyticOutletRise) {
     const auto sol = model.solve_steady(fp, nominal_op());
     const double expected_rise = power / (4.187e6 * kFlow);
     double outlet_mean = 0.0;
-    for (const double t : sol.channel_outlet_k) {
+    for (const double t : sol.channel_outlet_k()) {
       outlet_mean += t;
     }
-    outlet_mean /= static_cast<double>(sol.channel_outlet_k.size());
+    outlet_mean /= static_cast<double>(sol.channel_outlet_k().size());
     // The z-averaged outlet sample slightly differs from the flow-weighted
     // mixed mean; the energy balance itself is exact.
     EXPECT_NEAR(outlet_mean - kInlet, expected_rise, 0.25 * expected_rise + 0.02);
@@ -210,9 +299,9 @@ TEST(ThermalModel, ChannelProfilesMonotoneDownstream) {
                                ch::kPower7DieHeightM, coarse_grid());
   const auto fp = ch::make_power7_floorplan();
   const auto sol = model.solve_steady(fp, nominal_op());
-  ASSERT_EQ(sol.channel_fluid_axial_k.size(), 88u);
+  ASSERT_EQ(sol.channel_fluid_axial_k().size(), 88u);
   // Fluid warms along the channel under every core column.
-  const auto& profile = sol.channel_fluid_axial_k[10];
+  const auto& profile = sol.channel_fluid_axial_k()[10];
   EXPECT_GT(profile.back(), profile.front());
   EXPECT_GE(profile.front(), kInlet - 1e-9);
 }
@@ -403,6 +492,135 @@ TEST(ThermalModel, OperatingPointValidation) {
   op.total_flow_m3_per_s = 0.0;
   EXPECT_THROW(op.validate(true), std::invalid_argument);
   EXPECT_NO_THROW(op.validate(false));
+}
+
+// ------------------------------------------------------------ multi-die 3D
+TEST(MultiDie, SingleFloorplanApiMatchesSpanApiBitwise) {
+  const th::ThermalModel model(th::power7_microchannel_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, coarse_grid());
+  const auto fp = ch::make_power7_floorplan();
+  const auto one = model.solve_steady(fp, nominal_op());
+  const ch::Floorplan* floorplans[] = {&fp};
+  const auto span_solution =
+      model.solve_steady(std::span<const ch::Floorplan* const>(floorplans),
+                         nominal_op());
+  EXPECT_EQ(one.temperature_k.data(), span_solution.temperature_k.data());
+  EXPECT_EQ(one.peak_temperature_k, span_solution.peak_temperature_k);
+  ASSERT_EQ(span_solution.channel_layers.size(), 1u);
+  EXPECT_DOUBLE_EQ(span_solution.channel_layers.front().flow_fraction, 1.0);
+}
+
+TEST(MultiDie, SingleFloorplanApiRejectsMultiDieStacks) {
+  const th::ThermalModel model(th::two_die_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, coarse_grid());
+  EXPECT_EQ(model.die_count(), 2);
+  EXPECT_EQ(model.channel_layer_count(), 2);
+  EXPECT_THROW((void)model.solve_steady(ch::make_power7_floorplan(), nominal_op()),
+               std::invalid_argument);
+}
+
+TEST(MultiDie, TwoDieSolveConservesEnergyAndSplitsFlow) {
+  const th::ThermalModel model(th::two_die_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, coarse_grid());
+  const auto core_die = ch::make_power7_floorplan();
+  const auto memory_die = ch::make_power7_floorplan(ch::memory_die_power_spec());
+  const ch::Floorplan* floorplans[] = {&core_die, &memory_die};
+  const auto sol = model.solve_steady(floorplans, nominal_op());
+
+  EXPECT_NEAR(sol.total_power_w, core_die.total_power() + memory_die.total_power(), 1e-9);
+  EXPECT_LT(sol.energy_balance_error, 1e-6);
+
+  // Equal-geometry layers split the pump flow evenly and absorb all power.
+  ASSERT_EQ(sol.channel_layers.size(), 2u);
+  double split_total = 0.0;
+  double heat_total = 0.0;
+  for (const th::ChannelLayerSolution& layer : sol.channel_layers) {
+    EXPECT_NEAR(layer.flow_fraction, 0.5, 1e-9);
+    split_total += layer.flow_m3_per_s;
+    heat_total += layer.heat_absorbed_w;
+  }
+  EXPECT_NEAR(split_total, kFlow, kFlow * 1e-9);
+  EXPECT_NEAR(heat_total, sol.fluid_heat_absorbed_w, 1e-9);
+
+  // One active-layer map per die; hot core die peaks above the memory die.
+  ASSERT_EQ(sol.die_maps_k.size(), 2u);
+  double peak_die0 = 0.0, peak_die1 = 0.0;
+  for (int iy = 0; iy < model.ny(); ++iy) {
+    for (int ix = 0; ix < model.nx(); ++ix) {
+      peak_die0 = std::max(peak_die0, sol.die_maps_k[0](ix, iy));
+      peak_die1 = std::max(peak_die1, sol.die_maps_k[1](ix, iy));
+    }
+  }
+  EXPECT_GT(peak_die0, peak_die1);
+
+  // Upper-die blocks are reported with the die prefix.
+  bool found_prefixed = false;
+  for (const th::BlockTemperature& block : sol.block_temperatures) {
+    found_prefixed = found_prefixed || block.name.rfind("die1:", 0) == 0;
+  }
+  EXPECT_TRUE(found_prefixed);
+}
+
+TEST(MultiDie, TallerChannelLayerTakesMoreFlow) {
+  auto stack = th::two_die_stack();
+  // Make the upper cooling layer twice as tall: lower hydraulic resistance.
+  auto channels = stack.channel_layers();
+  ASSERT_EQ(channels.size(), 2u);
+  for (th::StackLayer& layer : stack.layers) {
+    if (auto* channel = std::get_if<th::MicrochannelLayerSpec>(&layer)) {
+      if (channel->name == "cool1") {
+        channel->layer_height_m = 800e-6;
+      }
+    }
+  }
+  const th::ThermalModel model(stack, ch::kPower7DieWidthM, ch::kPower7DieHeightM,
+                               coarse_grid());
+  const auto split = model.layer_flow_split(nominal_op());
+  ASSERT_EQ(split.size(), 2u);
+  EXPECT_GT(split[1], split[0] * 2.0);  // conductance grows superlinearly in height
+  EXPECT_NEAR(split[0] + split[1], kFlow, kFlow * 1e-9);
+}
+
+TEST(MultiDie, InterlayerCoolingBeatsTopOnlyCoolingAtEqualPressureDrop) {
+  // The hydraulically fair comparison: two parallel cooling layers pass
+  // twice the flow at the same plenum-to-plenum pressure drop, so the
+  // interlayer stack gets 2x the pump flow of the top-only baseline (each
+  // layer then carries exactly the baseline's per-layer flow).
+  const auto core_die = ch::make_power7_floorplan();
+  const auto memory_die = ch::make_power7_floorplan(ch::memory_die_power_spec());
+  const ch::Floorplan* floorplans[] = {&core_die, &memory_die};
+
+  const th::ThermalModel interlayer(th::multi_die_stack(2, true), ch::kPower7DieWidthM,
+                                    ch::kPower7DieHeightM, coarse_grid());
+  const th::ThermalModel top_only(th::multi_die_stack(2, false), ch::kPower7DieWidthM,
+                                  ch::kPower7DieHeightM, coarse_grid());
+  auto double_flow = nominal_op();
+  double_flow.total_flow_m3_per_s = 2.0 * kFlow;
+  const auto cool = interlayer.solve_steady(floorplans, double_flow);
+  const auto hot = top_only.solve_steady(floorplans, nominal_op());
+  EXPECT_LT(cool.peak_temperature_k, hot.peak_temperature_k);
+  EXPECT_LT(cool.energy_balance_error, 1e-6);
+  EXPECT_LT(hot.energy_balance_error, 1e-6);
+}
+
+TEST(MultiDie, TransientConvergesToSteadyOnTwoDieStack) {
+  const th::ThermalModel model(th::two_die_stack(), ch::kPower7DieWidthM,
+                               ch::kPower7DieHeightM, coarse_grid());
+  const auto core_die = ch::make_power7_floorplan();
+  const auto memory_die = ch::make_power7_floorplan(ch::memory_die_power_spec());
+  const std::vector<const ch::Floorplan*> floorplans = {&core_die, &memory_die};
+  const auto op = nominal_op();
+  const auto steady = model.solve_steady(floorplans, op);
+
+  th::ThermalSolveContext context(model);
+  auto state = model.uniform_state(kInlet);
+  double peak = 0.0;
+  for (int step = 0; step < 40; ++step) {
+    const auto sol = context.step_transient(state, floorplans, op, 0.05);
+    state = sol.temperature_k;
+    peak = sol.peak_temperature_k;
+  }
+  EXPECT_NEAR(peak, steady.peak_temperature_k, 0.2);
 }
 
 }  // namespace

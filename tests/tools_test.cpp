@@ -1,0 +1,100 @@
+// Unit tests of tools/cli_args.h — the tiny argv helpers shared by the
+// brightsi_sweep and brightsi_opt drivers. The CLIs' negative-path ctest
+// entries exercise the binaries end to end; these tests pin the helper
+// semantics (missing values, integer parsing, minimums, duplicate-flag
+// last-wins, unknown-flag error text) at the unit level.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../tools/cli_args.h"
+
+namespace to = brightsi::tools;
+
+namespace {
+
+/// Builds a mutable argv from string literals (the helpers take char**).
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (std::string& arg : storage_) {
+      pointers_.push_back(arg.data());
+    }
+  }
+  [[nodiscard]] int argc() const { return static_cast<int>(pointers_.size()); }
+  [[nodiscard]] char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+/// Runs `fn` and returns the std::invalid_argument message it throws;
+/// fails the test when it does not throw.
+template <typename Fn>
+std::string invalid_argument_message(const Fn& fn) {
+  try {
+    fn();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected std::invalid_argument";
+  return "";
+}
+
+TEST(CliArgs, NextArgReturnsValueAndAdvances) {
+  Argv args({"prog", "--csv", "out.csv", "--quiet"});
+  int i = 1;
+  EXPECT_EQ(to::next_arg(args.argc(), args.argv(), i, "--csv"), "out.csv");
+  EXPECT_EQ(i, 2);  // consumed the value slot
+}
+
+TEST(CliArgs, NextArgMissingValueNamesTheFlag) {
+  Argv args({"prog", "--csv"});
+  int i = 1;
+  const std::string message = invalid_argument_message(
+      [&] { (void)to::next_arg(args.argc(), args.argv(), i, "--csv"); });
+  EXPECT_EQ(message, "missing value after --csv");
+}
+
+TEST(CliArgs, NextIntArgParsesAndEnforcesMinimum) {
+  Argv args({"prog", "--threads", "4", "--budget", "0"});
+  int i = 1;
+  EXPECT_EQ(to::next_int_arg(args.argc(), args.argv(), i, "--threads", 0), 4);
+  ++i;  // step over "--budget" the way the CLI loops do
+  const std::string message = invalid_argument_message(
+      [&] { (void)to::next_int_arg(args.argc(), args.argv(), i, "--budget", 1); });
+  EXPECT_EQ(message, "--budget must be >= 1");
+}
+
+TEST(CliArgs, NextIntArgRejectsGarbageAndTrailingText) {
+  for (const std::string& bad : {"zero", "4x", "", "7.5"}) {
+    Argv args({"prog", "--threads", bad});
+    int i = 1;
+    const std::string message = invalid_argument_message(
+        [&] { (void)to::next_int_arg(args.argc(), args.argv(), i, "--threads", 0); });
+    EXPECT_EQ(message, "not an integer after --threads: '" + bad + "'") << bad;
+  }
+}
+
+TEST(CliArgs, DuplicateFlagsLastWins) {
+  // Both CLIs loop over argv and overwrite on every occurrence, so a
+  // repeated flag takes its last value. Pin that contract here.
+  Argv args({"prog", "--threads", "2", "--threads", "8"});
+  int threads = 0;
+  for (int i = 1; i < args.argc(); ++i) {
+    if (std::string(args.argv()[i]) == "--threads") {
+      threads = to::next_int_arg(args.argc(), args.argv(), i, "--threads", 0);
+    }
+  }
+  EXPECT_EQ(threads, 8);
+}
+
+TEST(CliArgs, UnknownOptionMessageMatchesTheCiPinnedText) {
+  // CI pins "error: unknown option" via PASS_REGULAR_EXPRESSION on both
+  // drivers; the shared helper is what keeps their texts identical.
+  EXPECT_EQ(to::unknown_option_message("--nope"), "unknown option --nope");
+}
+
+}  // namespace

@@ -161,7 +161,8 @@ int main(int argc, char** argv) {
       } else if (arg == "--quiet") {
         quiet = true;
       } else {
-        std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
+        std::fprintf(stderr, "error: %s\n",
+                     brightsi::tools::unknown_option_message(arg).c_str());
         return usage(argv[0], 2);
       }
     }

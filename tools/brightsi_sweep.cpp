@@ -6,7 +6,7 @@
 //   brightsi_sweep <plan> [options]            run a registered plan
 //   brightsi_sweep custom --evaluator <name>
 //       --grid p=v1,v2,... [--grid ...] [--set p=v ...]   ad-hoc sweep
-//       (evaluators: cosim, array, array_thermal, rail, mission)
+//       (evaluators: cosim, array, array_thermal, rail, mission, stack)
 //
 // Options:
 //   --threads N     worker threads (default: hardware concurrency)
@@ -40,7 +40,7 @@ int usage(const char* argv0, int exit_code) {
                "usage: %s --list | --params\n"
                "       %s <plan> [--threads N] [--csv FILE] [--json FILE]"
                " [--timing FILE] [--quiet] [--no-reuse]\n"
-               "       %s custom --evaluator cosim|array|array_thermal|rail|mission"
+               "       %s custom --evaluator cosim|array|array_thermal|rail|mission|stack"
                " (--grid p=v1,v2,... | --set p=v)... [options]\n",
                argv0, argv0, argv0);
   return exit_code;
@@ -173,7 +173,8 @@ int main(int argc, char** argv) {
         }
         fixed.emplace_back(axis.param, axis.values.front());
       } else {
-        std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
+        std::fprintf(stderr, "error: %s\n",
+                     brightsi::tools::unknown_option_message(arg).c_str());
         return usage(argv[0], 2);
       }
     }

@@ -38,6 +38,13 @@ inline int next_int_arg(int argc, char** argv, int& i, const std::string& flag,
   return value;
 }
 
+/// The exact unknown-flag diagnostic both CLIs print (prefixed "error: ");
+/// CI pins it with PASS_REGULAR_EXPRESSION, and tests/tools_test.cpp pins
+/// the text itself, so the two drivers can never drift apart.
+inline std::string unknown_option_message(const std::string& flag) {
+  return "unknown option " + flag;
+}
+
 }  // namespace brightsi::tools
 
 #endif  // BRIGHTSI_TOOLS_CLI_ARGS_H
