@@ -2,22 +2,33 @@
 // on the two-die interlayer-cooled configuration — the unit of work of
 // every stack_3d sweep scenario and stack_depth optimizer candidate. The
 // stacked operator is roughly twice the single-die system's, so this bench
-// tracks how the solve-context machinery (assemble-once pattern, ILU(0)
-// refactor, warm starts) scales with stack depth.
+// tracks how the solve-context machinery (assemble-once pattern,
+// preconditioner refactor, warm starts) scales with stack depth.
+//
+// A second section runs a paired solver comparison on an 8-die stack with
+// roughly 8x the two-die system's z-cell count (the regime multigrid
+// targets): the same system is measured with --solver ilu0 and with
+// --solver mg, and the JSON reports both arms plus iteration and
+// thermal-time ratios.
 //
 // Prints a human-readable summary and writes a machine-readable
 // BENCH_stack3d.json (runs/s, per-die split, BiCGSTAB iterations, assembly
-// vs solve time) that the CI Release job uploads as an artifact. A
-// non-flag first argument overrides the JSON path.
+// vs setup vs solve time — schema in docs/BENCHMARKS.md) that the CI
+// Release job uploads as an artifact. A non-flag first argument overrides
+// the JSON path; --solver ilu0|mg selects the main section's
+// preconditioner.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include <benchmark/benchmark.h>
 
+#include "chip/power7.h"
 #include "core/cosim.h"
 
 namespace co = brightsi::core;
+namespace th = brightsi::thermal;
 
 namespace {
 
@@ -27,12 +38,21 @@ struct Measurement {
   long long thermal_solves = 0;
   long long thermal_iterations = 0;
   double thermal_assembly_s = 0.0;
+  double thermal_setup_s = 0.0;
   double thermal_solve_s = 0.0;
   int dies = 0;
   int channel_layers = 0;
   double bottom_flow_fraction = 0.0;
 
   [[nodiscard]] double runs_per_s() const { return wall_s > 0.0 ? runs / wall_s : 0.0; }
+  /// Preconditioner setup + Krylov iteration time per run — the solver
+  /// cost the ilu0-vs-mg comparison is about.
+  [[nodiscard]] double thermal_time_per_run_s() const {
+    return (thermal_setup_s + thermal_solve_s) / runs;
+  }
+  [[nodiscard]] double iterations_per_run() const {
+    return static_cast<double>(thermal_iterations) / runs;
+  }
 };
 
 Measurement measure_repeated_runs(const co::IntegratedMpsocSystem& system) {
@@ -45,6 +65,7 @@ Measurement measure_repeated_runs(const co::IntegratedMpsocSystem& system) {
     m.thermal_solves += report.thermal_solves;
     m.thermal_iterations += report.thermal_iterations;
     m.thermal_assembly_s += report.thermal_assembly_time_s;
+    m.thermal_setup_s += report.thermal_setup_time_s;
     m.thermal_solve_s += report.thermal_solve_time_s;
     m.dies = report.die_count;
     m.channel_layers = static_cast<int>(report.layer_flows.size());
@@ -58,7 +79,58 @@ Measurement measure_repeated_runs(const co::IntegratedMpsocSystem& system) {
   }
 }
 
-void write_json(const char* path, const Measurement& m) {
+/// The multigrid target regime: an 8-die interlayer-cooled stack whose
+/// operator has ~8x the z-cells of the default two-die system. Here
+/// ILU(0)'s iteration count has grown ~3x over the two-die system while
+/// the multigrid count stays flat, so mg wins both metrics.
+co::SystemConfig tall_stack_config(th::SolverKind kind) {
+  co::SystemConfig config = co::two_die_system_config();
+  config.thermal_grid.axial_cells = 16;
+  config.stack = th::multi_die_stack(/*die_count=*/8, /*interlayer_cooling=*/true,
+                                     /*bulk_z_cells=*/16);
+  config.upper_die_power.assign(7, brightsi::chip::memory_die_power_spec());
+  config.thermal_grid.solver_config.kind = kind;
+  config.validate();
+  return config;
+}
+
+Measurement measure_tall_stack(th::SolverKind kind) {
+  const co::IntegratedMpsocSystem system(tall_stack_config(kind));
+  return measure_repeated_runs(system);
+}
+
+void print_measurement(const Measurement& m) {
+  std::printf("%d runs in %.3f s -> %.3f runs/s (mean %.3f s/run)\n", m.runs, m.wall_s,
+              m.runs_per_s(), m.wall_s / m.runs);
+  std::printf("thermal: %.1f solves/run, %.1f BiCGSTAB iterations/run\n",
+              static_cast<double>(m.thermal_solves) / m.runs, m.iterations_per_run());
+  std::printf("time split per run: assembly %.1f ms, setup %.1f ms, krylov %.1f ms,"
+              " other %.1f ms\n",
+              1e3 * m.thermal_assembly_s / m.runs, 1e3 * m.thermal_setup_s / m.runs,
+              1e3 * m.thermal_solve_s / m.runs,
+              1e3 * (m.wall_s - m.thermal_assembly_s - m.thermal_setup_s - m.thermal_solve_s) /
+                  m.runs);
+}
+
+void write_measurement_json(std::FILE* file, const char* indent, const Measurement& m) {
+  std::fprintf(file,
+               "%s\"runs\": %d,\n"
+               "%s\"wall_s\": %.6f,\n"
+               "%s\"runs_per_s\": %.4f,\n"
+               "%s\"mean_run_s\": %.6f,\n"
+               "%s\"mean_thermal_solves_per_run\": %.3f,\n"
+               "%s\"mean_bicgstab_iterations_per_run\": %.3f,\n"
+               "%s\"thermal_assembly_s_per_run\": %.6f,\n"
+               "%s\"thermal_setup_s_per_run\": %.6f,\n"
+               "%s\"thermal_solve_s_per_run\": %.6f",
+               indent, m.runs, indent, m.wall_s, indent, m.runs_per_s(), indent,
+               m.wall_s / m.runs, indent, static_cast<double>(m.thermal_solves) / m.runs,
+               indent, m.iterations_per_run(), indent, m.thermal_assembly_s / m.runs, indent,
+               m.thermal_setup_s / m.runs, indent, m.thermal_solve_s / m.runs);
+}
+
+void write_json(const char* path, const char* solver, const Measurement& m,
+                const Measurement& tall_ilu0, const Measurement& tall_mg) {
   std::FILE* file = std::fopen(path, "w");
   if (file == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -67,45 +139,60 @@ void write_json(const char* path, const Measurement& m) {
   std::fprintf(file,
                "{\n"
                "  \"bench\": \"stack3d_throughput\",\n"
+               "  \"solver\": \"%s\",\n"
                "  \"dies\": %d,\n"
                "  \"channel_layers\": %d,\n"
-               "  \"bottom_flow_fraction\": %.6f,\n"
-               "  \"runs\": %d,\n"
-               "  \"wall_s\": %.6f,\n"
-               "  \"runs_per_s\": %.4f,\n"
-               "  \"mean_run_s\": %.6f,\n"
-               "  \"mean_thermal_solves_per_run\": %.3f,\n"
-               "  \"mean_bicgstab_iterations_per_run\": %.3f,\n"
-               "  \"thermal_assembly_s_per_run\": %.6f,\n"
-               "  \"thermal_solve_s_per_run\": %.6f\n"
+               "  \"bottom_flow_fraction\": %.6f,\n",
+               solver, m.dies, m.channel_layers, m.bottom_flow_fraction);
+  write_measurement_json(file, "  ", m);
+  std::fprintf(file,
+               ",\n"
+               "  \"tall_stack\": {\n"
+               "    \"dies\": %d,\n"
+               "    \"channel_layers\": %d,\n"
+               "    \"ilu0\": {\n",
+               tall_ilu0.dies, tall_ilu0.channel_layers);
+  write_measurement_json(file, "      ", tall_ilu0);
+  std::fprintf(file, "\n    },\n    \"mg\": {\n");
+  write_measurement_json(file, "      ", tall_mg);
+  std::fprintf(file,
+               "\n    },\n"
+               "    \"iteration_ratio_ilu0_over_mg\": %.3f,\n"
+               "    \"thermal_time_speedup_ilu0_over_mg\": %.3f\n"
+               "  }\n"
                "}\n",
-               m.dies, m.channel_layers, m.bottom_flow_fraction, m.runs, m.wall_s,
-               m.runs_per_s(), m.wall_s / m.runs,
-               static_cast<double>(m.thermal_solves) / m.runs,
-               static_cast<double>(m.thermal_iterations) / m.runs,
-               m.thermal_assembly_s / m.runs, m.thermal_solve_s / m.runs);
+               tall_ilu0.iterations_per_run() / tall_mg.iterations_per_run(),
+               tall_ilu0.thermal_time_per_run_s() / tall_mg.thermal_time_per_run_s());
   std::fclose(file);
   std::printf("wrote %s\n", path);
 }
 
-void print_reproduction(const char* json_path) {
+void print_reproduction(const char* json_path, th::SolverKind kind) {
   co::SystemConfig config = co::two_die_system_config();
   config.thermal_grid.axial_cells = 16;  // the sweep plans' stacked resolution
+  config.thermal_grid.solver_config.kind = kind;
   const co::IntegratedMpsocSystem system(config);
   const Measurement m = measure_repeated_runs(system);
 
-  std::printf("== stack3d throughput: repeated two-die IntegratedMpsocSystem::run() ==\n");
+  std::printf("== stack3d throughput: repeated two-die IntegratedMpsocSystem::run()"
+              " [%s] ==\n",
+              th::solver_kind_name(kind));
   std::printf("%d dies, %d cooling layers, bottom-layer flow fraction %.3f\n", m.dies,
               m.channel_layers, m.bottom_flow_fraction);
-  std::printf("%d runs in %.3f s -> %.3f runs/s (mean %.3f s/run)\n", m.runs, m.wall_s,
-              m.runs_per_s(), m.wall_s / m.runs);
-  std::printf("thermal: %.1f solves/run, %.1f BiCGSTAB iterations/run\n",
-              static_cast<double>(m.thermal_solves) / m.runs,
-              static_cast<double>(m.thermal_iterations) / m.runs);
-  std::printf("time split per run: assembly %.1f ms, krylov %.1f ms, other %.1f ms\n\n",
-              1e3 * m.thermal_assembly_s / m.runs, 1e3 * m.thermal_solve_s / m.runs,
-              1e3 * (m.wall_s - m.thermal_assembly_s - m.thermal_solve_s) / m.runs);
-  write_json(json_path, m);
+  print_measurement(m);
+
+  std::printf("\n== tall stack (8 dies, 16-cell bulk): ilu0 vs mg ==\n");
+  const Measurement tall_ilu0 = measure_tall_stack(th::SolverKind::kIlu0);
+  std::printf("-- ilu0 --\n");
+  print_measurement(tall_ilu0);
+  const Measurement tall_mg = measure_tall_stack(th::SolverKind::kMultigrid);
+  std::printf("-- mg --\n");
+  print_measurement(tall_mg);
+  std::printf("iterations ilu0/mg: %.2fx, thermal time ilu0/mg: %.2fx\n\n",
+              tall_ilu0.iterations_per_run() / tall_mg.iterations_per_run(),
+              tall_ilu0.thermal_time_per_run_s() / tall_mg.thermal_time_per_run_s());
+
+  write_json(json_path, th::solver_kind_name(kind), m, tall_ilu0, tall_mg);
 }
 
 void bm_stack3d_run(benchmark::State& state) {
@@ -129,7 +216,18 @@ int main(int argc, char** argv) {
     }
     --argc;
   }
-  print_reproduction(json_path);
+  th::SolverKind kind = th::SolverKind::kIlu0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--solver") == 0 && i + 1 < argc) {
+      kind = th::parse_solver_kind(argv[i + 1]);
+      for (int j = i; j + 2 < argc; ++j) {
+        argv[j] = argv[j + 2];
+      }
+      argc -= 2;
+      break;
+    }
+  }
+  print_reproduction(json_path, kind);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -250,6 +250,8 @@ CoSimReport IntegratedMpsocSystem::run() const {
   report.thermal_iterations = stats_after.iterations - stats_before.iterations;
   report.thermal_assembly_time_s =
       stats_after.assembly_time_s - stats_before.assembly_time_s;
+  report.thermal_setup_time_s =
+      stats_after.precond_setup_time_s - stats_before.precond_setup_time_s;
   report.thermal_solve_time_s = stats_after.solve_time_s - stats_before.solve_time_s;
   return report;
 }

@@ -78,9 +78,10 @@ struct CoSimReport {
   /// Thermal solver work spent inside this run (solve-context stats delta):
   /// the observable behind the assemble-once / warm-start speedup.
   int thermal_solves = 0;
-  long long thermal_iterations = 0;      ///< BiCGSTAB iterations, summed
-  double thermal_assembly_time_s = 0.0;  ///< fill + refill + ILU(0) refactor
-  double thermal_solve_time_s = 0.0;     ///< time inside the Krylov solver
+  long long thermal_iterations = 0;          ///< BiCGSTAB iterations, summed
+  double thermal_assembly_time_s = 0.0;      ///< coefficient fill + CSR refill
+  double thermal_setup_time_s = 0.0;         ///< preconditioner factor/hierarchy refresh
+  double thermal_solve_time_s = 0.0;         ///< time iterating inside the Krylov solver
 };
 
 class IntegratedMpsocSystem {

@@ -187,6 +187,7 @@ MissionResult run_mission(const MissionConfig& config,
   const th::ThermalSolveContext::Stats& stats = engine.thermal_stats();
   result.thermal_iterations = stats.iterations;
   result.thermal_assembly_time_s = stats.assembly_time_s;
+  result.thermal_setup_time_s = stats.precond_setup_time_s;
   result.thermal_solve_time_s = stats.solve_time_s;
   return result;
 }

@@ -76,8 +76,9 @@ struct MissionResult {
   /// Work counters for perf reporting (bench/mission_throughput).
   long long steps = 0;
   long long thermal_iterations = 0;      ///< BiCGSTAB iterations, summed
-  double thermal_assembly_time_s = 0.0;
-  double thermal_solve_time_s = 0.0;
+  double thermal_assembly_time_s = 0.0;  ///< coefficient fill + CSR refill
+  double thermal_setup_time_s = 0.0;     ///< preconditioner factor/hierarchy refresh
+  double thermal_solve_time_s = 0.0;     ///< time iterating inside the Krylov solver
 };
 
 /// Runs the mission. Throws only on configuration errors; supply

@@ -32,7 +32,12 @@ struct SolverReport {
   bool converged = false;
   int iterations = 0;
   double residual_norm = 0.0;
-  double solve_time_s = 0.0;  ///< wall time spent inside the solver
+  double solve_time_s = 0.0;  ///< wall time iterating inside the solver
+  /// Wall time preparing the preconditioner for this solve (ILU
+  /// factorization or multigrid hierarchy refresh). Filled by callers that
+  /// own the preconditioner lifecycle (the solve contexts); the solvers
+  /// themselves leave it zero.
+  double setup_time_s = 0.0;
 };
 
 /// Reusable scratch vectors for the Krylov solvers, so repeated solves on a

@@ -12,6 +12,20 @@
 
 namespace brightsi::thermal {
 
+const char* solver_kind_name(SolverKind kind) {
+  return kind == SolverKind::kMultigrid ? "mg" : "ilu0";
+}
+
+SolverKind parse_solver_kind(const std::string& name) {
+  if (name == "ilu0") {
+    return SolverKind::kIlu0;
+  }
+  if (name == "mg") {
+    return SolverKind::kMultigrid;
+  }
+  throw std::invalid_argument("unknown solver '" + name + "' (expected ilu0 or mg)");
+}
+
 void OperatingPoint::validate(bool has_channels) const {
   if (has_channels) {
     ensure_positive(total_flow_m3_per_s, "coolant flow");
@@ -142,6 +156,15 @@ int ThermalModel::channel_count() const {
   return channel_specs_.empty() ? 0 : channel_specs_.front().channel_count;
 }
 
+std::vector<double> ThermalModel::z_cell_thicknesses() const {
+  std::vector<double> dz;
+  dz.reserve(z_slices_.size());
+  for (const ZSlice& slice : z_slices_) {
+    dz.push_back(slice.dz);
+  }
+  return dz;
+}
+
 double ThermalModel::film_coefficient(const OperatingPoint& op, int channel_layer) const {
   const MicrochannelLayerSpec& ch = channel_specs_[static_cast<std::size_t>(channel_layer)];
   const hydraulics::RectangularDuct duct(ch.channel_width_m, ch.layer_height_m, die_height_m_);
@@ -210,15 +233,13 @@ void ThermalModel::fill_operator(std::span<const chip::Floorplan* const> floorpl
     triplets->add(static_cast<int>(b), static_cast<int>(a), -conductance);
   };
 
-  // Conduction/convection between neighboring cells. A solid-solid face
-  // uses harmonic half-cell resistances; a fluid-solid face uses the solid
+  // Face conductance between neighboring cells. A solid-solid face uses
+  // harmonic half-cell resistances; a fluid-solid face uses the solid
   // half-cell plus the film resistance 1/h of the fluid cell's layer.
-  auto link = [&](int ixa, int iya, int iza, int ixb, int iyb, int izb, double area,
-                  double half_a, double half_b) {
+  auto face_conductance = [&](int ixa, int iza, int ixb, int izb, double area, double half_a,
+                              double half_b) {
     const bool fa = is_fluid(ixa, iza);
     const bool fb = is_fluid(ixb, izb);
-    const std::size_t a = index(ixa, iya, iza);
-    const std::size_t b = index(ixb, iyb, izb);
     double resistance = 0.0;
     if (!fa) {
       resistance += half_a / z_slices_[static_cast<std::size_t>(iza)]
@@ -239,39 +260,96 @@ void ThermalModel::fill_operator(std::span<const chip::Floorplan* const> floorpl
       // channel layers, so both cells belong to the same layer.
       resistance = (half_a + half_b) / op.coolant.thermal_conductivity_w_per_m_k;
     }
-    stamp_pair(a, b, area / resistance);
+    return area / resistance;
   };
+
+  // Every geometric coefficient is invariant along y, so each z-slice's
+  // conductances are computed once into flat batch arrays (simple
+  // vectorizable loops over x) and the ny-fold inner loop reduces to pure
+  // triplet scatter. The stamp sequence is identical to stamping per cell
+  // — same expressions, same order — so results (and the scatter-plan
+  // caching contract) are bit-for-bit unchanged.
+  std::vector<double> g_x(static_cast<std::size_t>(nx_), 0.0);    // +x face per column
+  std::vector<double> g_y(static_cast<std::size_t>(nx_), 0.0);    // +y face (solid only)
+  std::vector<double> g_z(static_cast<std::size_t>(nx_), 0.0);    // +z face per column
+  std::vector<double> g_top(static_cast<std::size_t>(nx_), 0.0);  // top film per column
+  std::vector<double> c_dt(static_cast<std::size_t>(nx_), 0.0);   // mass term per column
 
   for (int iz = 0; iz < nz_; ++iz) {
     const ZSlice& slice = z_slices_[static_cast<std::size_t>(iz)];
+
+    // --- batch coefficient fill for this slice ---
+    for (int ix = 0; ix + 1 < nx_; ++ix) {
+      g_x[static_cast<std::size_t>(ix)] =
+          face_conductance(ix, iz, ix + 1, iz, dy_ * slice.dz,
+                           dx_[static_cast<std::size_t>(ix)] / 2.0,
+                           dx_[static_cast<std::size_t>(ix) + 1] / 2.0);
+    }
+    for (int ix = 0; ix < nx_; ++ix) {
+      g_y[static_cast<std::size_t>(ix)] =
+          is_fluid(ix, iz) ? 0.0
+                           : face_conductance(ix, iz, ix, iz,
+                                              dx_[static_cast<std::size_t>(ix)] * slice.dz,
+                                              dy_ / 2.0, dy_ / 2.0);
+    }
+    if (iz + 1 < nz_) {
+      for (int ix = 0; ix < nx_; ++ix) {
+        g_z[static_cast<std::size_t>(ix)] =
+            face_conductance(ix, iz, ix, iz + 1, dx_[static_cast<std::size_t>(ix)] * dy_,
+                             slice.dz / 2.0,
+                             z_slices_[static_cast<std::size_t>(iz) + 1].dz / 2.0);
+      }
+    }
+    // Advection coefficient: upwind from -y, with this layer's share of the
+    // pump flow; constant across the slice's fluid cells.
+    double c_adv = 0.0;
+    if (slice.channel_layer >= 0) {
+      const auto layer = static_cast<std::size_t>(slice.channel_layer);
+      const double flow_fraction = slice.dz / channel_specs_[layer].layer_height_m;
+      c_adv = op.coolant.volumetric_heat_capacity_j_per_m3_k * per_channel_flow[layer] *
+              flow_fraction;
+    }
+    const bool top_boundary = iz == nz_ - 1 && stack_.top_heat_transfer_w_per_m2_k > 0.0;
+    if (top_boundary) {
+      const double resistance =
+          slice.dz / 2.0 / slice.material.thermal_conductivity_w_per_m_k +
+          1.0 / stack_.top_heat_transfer_w_per_m2_k;
+      for (int ix = 0; ix < nx_; ++ix) {
+        g_top[static_cast<std::size_t>(ix)] =
+            is_fluid(ix, iz) ? 0.0 : dx_[static_cast<std::size_t>(ix)] * dy_ / resistance;
+      }
+    }
+    if (capacity_over_dt > 0.0) {
+      for (int ix = 0; ix < nx_; ++ix) {
+        const double cap = is_fluid(ix, iz)
+                               ? op.coolant.volumetric_heat_capacity_j_per_m3_k
+                               : slice.material.volumetric_heat_capacity_j_per_m3_k;
+        c_dt[static_cast<std::size_t>(ix)] =
+            cap * dx_[static_cast<std::size_t>(ix)] * dy_ * slice.dz * capacity_over_dt;
+      }
+    }
+
+    // --- scatter the batches, cell by cell in the original stamp order ---
     for (int iy = 0; iy < ny_; ++iy) {
       for (int ix = 0; ix < nx_; ++ix) {
         const std::size_t me = index(ix, iy, iz);
         const bool fluid = is_fluid(ix, iz);
-        const double dxc = dx_[static_cast<std::size_t>(ix)];
 
         // +x neighbor.
         if (ix + 1 < nx_) {
-          link(ix, iy, iz, ix + 1, iy, iz, dy_ * slice.dz, dxc / 2.0,
-               dx_[static_cast<std::size_t>(ix) + 1] / 2.0);
+          stamp_pair(me, index(ix + 1, iy, iz), g_x[static_cast<std::size_t>(ix)]);
         }
         // +y neighbor: conduction for solids; fluid handles y by advection.
         if (iy + 1 < ny_ && !fluid) {
-          link(ix, iy, iz, ix, iy + 1, iz, dxc * slice.dz, dy_ / 2.0, dy_ / 2.0);
+          stamp_pair(me, index(ix, iy + 1, iz), g_y[static_cast<std::size_t>(ix)]);
         }
         // +z neighbor.
         if (iz + 1 < nz_) {
-          link(ix, iy, iz, ix, iy, iz + 1, dxc * dy_, slice.dz / 2.0,
-               z_slices_[static_cast<std::size_t>(iz) + 1].dz / 2.0);
+          stamp_pair(me, index(ix, iy, iz + 1), g_z[static_cast<std::size_t>(ix)]);
         }
 
-        // Advection for fluid cells: upwind from -y, with this layer's
-        // share of the pump flow.
+        // Advection for fluid cells.
         if (fluid) {
-          const auto layer = static_cast<std::size_t>(slice.channel_layer);
-          const double flow_fraction = slice.dz / channel_specs_[layer].layer_height_m;
-          const double c_adv = op.coolant.volumetric_heat_capacity_j_per_m3_k *
-                               per_channel_flow[layer] * flow_fraction;
           triplets->add(static_cast<int>(me), static_cast<int>(me), c_adv);
           if (iy == 0) {
             (*rhs)[me] += c_adv * op.inlet_temperature_k;
@@ -281,12 +359,8 @@ void ThermalModel::fill_operator(std::span<const chip::Floorplan* const> floorpl
         }
 
         // Top convective boundary.
-        if (iz == nz_ - 1 && stack_.top_heat_transfer_w_per_m2_k > 0.0 && !fluid) {
-          const double area = dxc * dy_;
-          const double resistance =
-              slice.dz / 2.0 / slice.material.thermal_conductivity_w_per_m_k +
-              1.0 / stack_.top_heat_transfer_w_per_m2_k;
-          const double g = area / resistance;
+        if (top_boundary && !fluid) {
+          const double g = g_top[static_cast<std::size_t>(ix)];
           triplets->add(static_cast<int>(me), static_cast<int>(me), g);
           (*rhs)[me] += g * stack_.ambient_temperature_k;
         }
@@ -298,12 +372,9 @@ void ThermalModel::fill_operator(std::span<const chip::Floorplan* const> floorpl
 
         // Backward-Euler mass term.
         if (capacity_over_dt > 0.0) {
-          const double cap =
-              fluid ? op.coolant.volumetric_heat_capacity_j_per_m3_k
-                    : slice.material.volumetric_heat_capacity_j_per_m3_k;
-          const double c_dt = cap * dxc * dy_ * slice.dz * capacity_over_dt;
-          triplets->add(static_cast<int>(me), static_cast<int>(me), c_dt);
-          (*rhs)[me] += c_dt * (*previous)(ix, iy, iz);
+          const double c = c_dt[static_cast<std::size_t>(ix)];
+          triplets->add(static_cast<int>(me), static_cast<int>(me), c);
+          (*rhs)[me] += c * (*previous)(ix, iy, iz);
         }
       }
     }

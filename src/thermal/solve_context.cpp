@@ -87,19 +87,39 @@ ThermalSolution ThermalSolveContext::solve(std::span<const chip::Floorplan* cons
   model_->fill_operator(floorplans, op, layer_flows, capacity_over_dt, previous,
                         &triplets_, &rhs_);
   matrix_.refill_from_triplets(triplets_, scatter_plan);
-  if (preconditioner_ != nullptr) {
-    preconditioner_->refactor(matrix_);
-  } else {
-    preconditioner_ = std::make_unique<numerics::Ilu0Preconditioner>(matrix_);
-  }
   stats_.assembly_time_s += seconds_since(assembly_start);
+
+  // Preconditioner setup (timed separately from assembly): numeric
+  // refactorization on the fixed pattern, or a first-call build.
+  const auto setup_start = std::chrono::steady_clock::now();
+  const numerics::Preconditioner* preconditioner = nullptr;
+  if (model_->settings().solver_config.kind == SolverKind::kMultigrid) {
+    if (multigrid_ != nullptr) {
+      multigrid_->refactor(matrix_);
+    } else {
+      multigrid_ = std::make_unique<numerics::MultigridPreconditioner>(
+          matrix_, model_->nx() * model_->ny(), model_->z_cell_thicknesses(),
+          model_->settings().solver_config.multigrid);
+    }
+    preconditioner = multigrid_.get();
+  } else {
+    if (ilu_ != nullptr) {
+      ilu_->refactor(matrix_);
+    } else {
+      ilu_ = std::make_unique<numerics::Ilu0Preconditioner>(matrix_);
+    }
+    preconditioner = ilu_.get();
+  }
+  const double setup_time_s = seconds_since(setup_start);
+  stats_.precond_setup_time_s += setup_time_s;
 
   if (!warm_) {
     temperatures_.assign(rhs_.size(), op.inlet_temperature_k);
   }
-  const numerics::SolverReport report = numerics::solve_bicgstab(
-      matrix_, rhs_, temperatures_, preconditioner_.get(), model_->settings().solver,
+  numerics::SolverReport report = numerics::solve_bicgstab(
+      matrix_, rhs_, temperatures_, preconditioner, model_->settings().solver,
       &workspace_);
+  report.setup_time_s = setup_time_s;
   stats_.solves += 1;
   stats_.iterations += report.iterations;
   stats_.solve_time_s += report.solve_time_s;

@@ -33,8 +33,12 @@ class ThermalSolveContext {
   struct Stats {
     int solves = 0;
     long long iterations = 0;      ///< BiCGSTAB iterations, summed
-    double assembly_time_s = 0.0;  ///< coefficient fill + refill + ILU(0) refactor
-    double solve_time_s = 0.0;     ///< time inside the Krylov solver
+    double assembly_time_s = 0.0;  ///< coefficient fill + in-place CSR refill
+    /// Preconditioner setup: ILU(0) (re)factorization or multigrid
+    /// hierarchy build/refresh. Split from assembly so benches can separate
+    /// stamping cost from solver setup cost (docs/BENCHMARKS.md).
+    double precond_setup_time_s = 0.0;
+    double solve_time_s = 0.0;     ///< time iterating inside the Krylov solver
   };
 
   /// Copies the model's operator pattern; no factorization happens until
@@ -87,7 +91,10 @@ class ThermalSolveContext {
   std::vector<double> rhs_;
   std::vector<int> steady_scatter_;    // triplet -> CSR slot plans per mode
   std::vector<int> transient_scatter_;
-  std::unique_ptr<numerics::Ilu0Preconditioner> preconditioner_;
+  // Exactly one of these is live, per settings().solver_config.kind: the
+  // default ILU(0) factorization or the multigrid hierarchy (multigrid.h).
+  std::unique_ptr<numerics::Ilu0Preconditioner> ilu_;
+  std::unique_ptr<numerics::MultigridPreconditioner> multigrid_;
   numerics::KrylovWorkspace workspace_;
   std::vector<double> temperatures_;   // last iterate = warm-start field
   bool warm_ = false;

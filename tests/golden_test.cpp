@@ -126,6 +126,33 @@ TEST(Golden, Fig9ThermalSummaryAndBlocks) {
                     });
 }
 
+TEST(Golden, Fig9DefaultSolverPathIsByteIdentical) {
+  // Stronger than the toleranced comparison above: the default ILU(0)
+  // solver path must reproduce the committed fig9 CSVs byte for byte.
+  // This is the regression net under every solver-layer refactor — a
+  // batched fill or preconditioner change that alters even the last ulp
+  // (or the CSV formatting) trips it. The mg path is exempt: it is only
+  // required to agree within solver tolerance.
+  if (update_mode) {
+    GTEST_SKIP() << "--update rewrites the files this test compares against";
+  }
+  const brightsi::thermal::ThermalSolution solution = re::fig9_thermal_solution();
+  const std::map<std::string, const re::FigureTable> tables = {
+      {"fig9_summary.csv", re::fig9_thermal_summary(solution)},
+      {"fig9_blocks.csv", re::fig9_block_table(solution)},
+  };
+  for (const auto& [file, fresh] : tables) {
+    std::ostringstream fresh_bytes;
+    re::write_figure_csv(fresh_bytes, fresh);
+    std::ifstream is(golden_path(file), std::ios::binary);
+    ASSERT_TRUE(is) << "missing golden file " << golden_path(file);
+    std::ostringstream golden_bytes;
+    golden_bytes << is.rdbuf();
+    EXPECT_EQ(fresh_bytes.str(), golden_bytes.str())
+        << file << ": default-path output drifted from the committed bytes";
+  }
+}
+
 TEST(Golden, PumpingEnergyBalance) {
   const re::FigureTable table = re::pumping_energy_table();
   // Sanity before pinning: the paper's headline shape — generation exceeds

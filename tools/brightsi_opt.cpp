@@ -21,6 +21,7 @@
 //   --pareto FILE     Pareto-front rows (sweep row format)
 //   --json FILE       study metadata + best + front + archive as JSON
 //   --quiet           suppress the result tables on stdout
+//   --solver S        thermal preconditioner: ilu0 (default) or mg
 #include <cstdio>
 #include <fstream>
 #include <functional>
@@ -44,7 +45,7 @@ int usage(const char* argv0, int exit_code) {
                "       %s <study> [--budget N] [--threads N] [--axis-points K]\n"
                "           [--no-polish] [--no-reuse] [--maximize M[*W]] [--minimize M[*W]]\n"
                "           [--cap M=V] [--floor M=V] [--csv FILE] [--pareto FILE]\n"
-               "           [--json FILE] [--quiet]\n",
+               "           [--json FILE] [--quiet] [--solver ilu0|mg]\n",
                argv0, argv0);
   return exit_code;
 }
@@ -124,6 +125,7 @@ int main(int argc, char** argv) {
     std::string pareto_path;
     std::string json_path;
     bool quiet = false;
+    std::string solver_name;
     std::vector<op::ObjectiveTerm> term_overrides;
     std::vector<op::MetricConstraint> extra_constraints;
 
@@ -160,6 +162,8 @@ int main(int argc, char** argv) {
         json_path = next();
       } else if (arg == "--quiet") {
         quiet = true;
+      } else if (arg == "--solver") {
+        solver_name = next();
       } else {
         std::fprintf(stderr, "error: %s\n",
                      brightsi::tools::unknown_option_message(arg).c_str());
@@ -168,6 +172,10 @@ int main(int argc, char** argv) {
     }
 
     op::Study study = op::make_registered_study(command);
+    if (!solver_name.empty()) {
+      study.base.thermal_grid.solver_config.kind =
+          brightsi::thermal::parse_solver_kind(solver_name);
+    }
     if (!term_overrides.empty()) {
       study.objective.terms = term_overrides;
     }

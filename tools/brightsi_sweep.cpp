@@ -39,7 +39,7 @@ int usage(const char* argv0, int exit_code) {
   std::fprintf(exit_code == 0 ? stdout : stderr,
                "usage: %s --list | --params\n"
                "       %s <plan> [--threads N] [--csv FILE] [--json FILE]"
-               " [--timing FILE] [--quiet] [--no-reuse]\n"
+               " [--timing FILE] [--quiet] [--no-reuse] [--solver ilu0|mg]\n"
                "       %s custom --evaluator cosim|array|array_thermal|rail|mission|stack"
                " (--grid p=v1,v2,... | --set p=v)... [options]\n",
                argv0, argv0, argv0);
@@ -142,6 +142,7 @@ int main(int argc, char** argv) {
     std::string timing_path;
     bool quiet = false;
     std::string evaluator_name;
+    std::string solver_name;
     std::vector<sw::GridAxis> grid_axes;
     std::vector<std::pair<std::string, double>> fixed;
 
@@ -163,6 +164,8 @@ int main(int argc, char** argv) {
         options.reuse_structures = false;
       } else if (arg == "--evaluator") {
         evaluator_name = next();
+      } else if (arg == "--solver") {
+        solver_name = next();
       } else if (arg == "--grid") {
         grid_axes.push_back(parse_axis(next()));
       } else if (arg == "--set") {
@@ -191,6 +194,10 @@ int main(int argc, char** argv) {
       plan.add_grid(grid_axes, fixed);
     } else {
       plan = sw::make_registered_plan(command);
+    }
+    if (!solver_name.empty()) {
+      plan.base.thermal_grid.solver_config.kind =
+          brightsi::thermal::parse_solver_kind(solver_name);
     }
     plan.validate();
 

