@@ -124,6 +124,8 @@ MissionResult run_mission(const MissionConfig& config,
   engine_options.schedule.align_phase_boundaries = config.align_phase_boundaries;
   engine_options.sample_stride = config.sample_stride;
   engine_options.initial_state = initial_thermal_state;
+  engine_options.backend = config.transient_backend;
+  engine_options.rom = config.rom;
   for (const chip::Power7PowerSpec& upper : sys.upper_die_power) {
     engine_options.upper_die_floorplans.push_back(chip::make_power7_floorplan(upper));
   }
@@ -189,6 +191,15 @@ MissionResult run_mission(const MissionConfig& config,
   result.thermal_assembly_time_s = stats.assembly_time_s;
   result.thermal_setup_time_s = stats.precond_setup_time_s;
   result.thermal_solve_time_s = stats.solve_time_s;
+  if (engine.rom() != nullptr) {
+    const th::RomStats& rom = engine.rom()->stats();
+    result.rom_steps = rom.rom_steps;
+    result.rom_fallbacks = rom.full_steps;
+    result.rom_basis_size = rom.basis_size;
+    result.rom_build_time_s = rom.build_time_s;
+    result.rom_max_bound_k = rom.max_accepted_bound_k;
+    result.rom_cumulative_bound_k = rom.cumulative_bound_k;
+  }
   return result;
 }
 

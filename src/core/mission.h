@@ -23,6 +23,7 @@
 #include "chip/workload.h"
 #include "core/system_config.h"
 #include "electrochem/reservoir.h"
+#include "thermal/transient.h"
 
 namespace brightsi::core {
 
@@ -44,6 +45,10 @@ struct MissionConfig {
   /// runs plain dt_s steps through phase boundaries; the trace end is
   /// still covered exactly either way.
   bool align_phase_boundaries = true;
+  /// Thermal stepping backend: the full-grid solve (default, bit-stable)
+  /// or the certified reduced-order model (thermal/rom.h).
+  thermal::TransientBackend transient_backend = thermal::TransientBackend::kFull;
+  thermal::RomOptions rom;  ///< used only when transient_backend == kRom
 
   void validate() const;
 };
@@ -79,6 +84,15 @@ struct MissionResult {
   double thermal_assembly_time_s = 0.0;  ///< coefficient fill + CSR refill
   double thermal_setup_time_s = 0.0;     ///< preconditioner factor/hierarchy refresh
   double thermal_solve_time_s = 0.0;     ///< time iterating inside the Krylov solver
+
+  // Reduced-order backend counters (all zero on the full backend) — the
+  // certificate trail surfaced into BENCH_mission.json and sweep rows.
+  long long rom_steps = 0;            ///< steps served by the reduced solve
+  long long rom_fallbacks = 0;        ///< full-solve fallbacks (basis enrichments)
+  int rom_basis_size = 0;             ///< largest basis across step lengths
+  double rom_build_time_s = 0.0;      ///< operator assembly + basis enrichment
+  double rom_max_bound_k = 0.0;       ///< worst accepted certified error bound
+  double rom_cumulative_bound_k = 0.0;  ///< trajectory-accumulated bound
 };
 
 /// Runs the mission. Throws only on configuration errors; supply

@@ -1,0 +1,133 @@
+#include "numerics/model_reduction.h"
+
+#include <cmath>
+
+#include "numerics/contracts.h"
+
+namespace brightsi::numerics {
+
+namespace {
+
+double norm2(std::span<const double> v) {
+  double sum = 0.0;
+  for (const double x : v) {
+    sum += x * x;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+bool OrthonormalBasis::append(std::span<const double> vector, double drop_tolerance) {
+  ensure(vector.size() == dimension_, "OrthonormalBasis::append: wrong dimension");
+  ensure(drop_tolerance >= 0.0, "OrthonormalBasis::append: negative drop tolerance");
+  const double original_norm = norm2(vector);
+  if (!(original_norm > 0.0)) {
+    return false;  // the zero vector (or NaN) spans nothing
+  }
+  std::vector<double> candidate(vector.begin(), vector.end());
+  // Modified Gram-Schmidt, run twice: the second sweep removes the
+  // components the first one left behind through cancellation, keeping the
+  // basis orthonormal to roundoff ("twice is enough", Giraud et al.).
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (const std::vector<double>& column : columns_) {
+      double h = 0.0;
+      for (std::size_t i = 0; i < dimension_; ++i) {
+        h += column[i] * candidate[i];
+      }
+      for (std::size_t i = 0; i < dimension_; ++i) {
+        candidate[i] -= h * column[i];
+      }
+    }
+  }
+  const double remainder_norm = norm2(candidate);
+  if (!(remainder_norm > drop_tolerance * original_norm)) {
+    return false;  // numerically inside the current span
+  }
+  const double inverse = 1.0 / remainder_norm;
+  for (double& x : candidate) {
+    x *= inverse;
+  }
+  columns_.push_back(std::move(candidate));
+  // Repack the row-major mirror (the old stride is gone, so every row
+  // moves). O(dimension * size) per append — the same order as the MGS
+  // sweep above, and paid only when the basis grows.
+  const std::size_t k = columns_.size();
+  packed_.resize(dimension_ * k);
+  for (std::size_t i = 0; i < dimension_; ++i) {
+    double* row = packed_.data() + i * k;
+    for (std::size_t j = 0; j < k; ++j) {
+      row[j] = columns_[j][i];
+    }
+  }
+  return true;
+}
+
+void OrthonormalBasis::project(std::span<const double> x,
+                               std::span<double> coefficients) const {
+  ensure(x.size() == dimension_ && coefficients.size() == columns_.size(),
+         "OrthonormalBasis::project: size mismatch");
+  const std::size_t k = columns_.size();
+  for (std::size_t j = 0; j < k; ++j) {
+    coefficients[j] = 0.0;
+  }
+  for (std::size_t i = 0; i < dimension_; ++i) {
+    const double xi = x[i];
+    const double* row = packed_.data() + i * k;
+    for (std::size_t j = 0; j < k; ++j) {
+      coefficients[j] += row[j] * xi;
+    }
+  }
+}
+
+void OrthonormalBasis::lift(std::span<const double> coefficients,
+                            std::span<double> x) const {
+  ensure(x.size() == dimension_ && coefficients.size() == columns_.size(),
+         "OrthonormalBasis::lift: size mismatch");
+  const std::size_t k = columns_.size();
+  for (std::size_t i = 0; i < dimension_; ++i) {
+    const double* row = packed_.data() + i * k;
+    double sum = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      sum += row[j] * coefficients[j];
+    }
+    x[i] = sum;
+  }
+}
+
+int block_arnoldi_expand(OrthonormalBasis& basis,
+                         std::span<const std::vector<double>> seeds, int moments,
+                         int max_size, double drop_tolerance,
+                         const SubspaceApplyFn& apply) {
+  ensure(max_size >= 1, "block_arnoldi_expand: max_size must be >= 1");
+  ensure(moments >= 0, "block_arnoldi_expand: moments must be >= 0");
+  int added = 0;
+  std::vector<int> wave;  // column indices accepted in the current round
+  for (const std::vector<double>& seed : seeds) {
+    if (basis.size() >= max_size) {
+      break;
+    }
+    if (basis.append(seed, drop_tolerance)) {
+      wave.push_back(basis.size() - 1);
+      ++added;
+    }
+  }
+  std::vector<double> image(basis.dimension(), 0.0);
+  for (int moment = 0; moment < moments && !wave.empty(); ++moment) {
+    std::vector<int> next_wave;
+    for (const int j : wave) {
+      if (basis.size() >= max_size) {
+        break;
+      }
+      apply(basis.column(j), image);
+      if (basis.append(image, drop_tolerance)) {
+        next_wave.push_back(basis.size() - 1);
+        ++added;
+      }
+    }
+    wave = std::move(next_wave);
+  }
+  return added;
+}
+
+}  // namespace brightsi::numerics

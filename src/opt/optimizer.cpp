@@ -52,6 +52,9 @@ std::vector<double> snap_point(const Study& study, std::vector<double> point) {
 
 sweep::ScenarioSpec make_candidate_spec(const Study& study, const std::vector<double>& point) {
   sweep::ScenarioSpec spec;
+  for (const auto& [param, value] : study.fixed) {
+    spec.set(param, value);
+  }
   for (std::size_t a = 0; a < study.parameters.size(); ++a) {
     spec.set(study.parameters[a].param, point[a]);
     if (!spec.name.empty()) {
@@ -325,6 +328,13 @@ void Study::validate() const {
     if (parameter.integer && std::ceil(parameter.lower) > std::floor(parameter.upper)) {
       throw std::invalid_argument("study '" + name + "': parameter '" + parameter.param +
                                   "' has no integer inside its bounds");
+    }
+  }
+  for (const auto& [param, value] : fixed) {
+    (void)value;
+    if (sweep::find_parameter(param) == nullptr) {
+      throw std::invalid_argument("study '" + name + "': unknown fixed parameter '" +
+                                  param + "'");
     }
   }
   (void)ResolvedObjective(objective, evaluator.metrics);  // throws on a bad objective

@@ -16,6 +16,7 @@
 
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "opt/objective.h"
@@ -41,6 +42,11 @@ struct Study {
   sweep::SweepEvaluator evaluator;
   ObjectiveSpec objective;
   std::vector<StudyParameter> parameters;
+  /// Overrides stamped onto every candidate before its searched parameters
+  /// (a searched parameter with the same name wins). Candidate names are
+  /// derived from the searched parameters only, so fixing e.g. the
+  /// transient backend leaves archive rows byte-comparable across runs.
+  std::vector<std::pair<std::string, double>> fixed;
 
   /// Throws std::invalid_argument on an empty parameter set, an
   /// unregistered parameter, unordered bounds, or an objective that does

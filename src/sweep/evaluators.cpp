@@ -173,6 +173,9 @@ SweepEvaluator mission_evaluator() {
     mission.reservoir.chemistry = config.chemistry;
     mission.initial_soc = scenario.get("initial_soc").value_or(0.95);
     mission.dt_s = scenario.get("mission_dt_s").value_or(0.1);
+    mission.transient_backend = scenario.get("transient").value_or(0.0) != 0.0
+                                    ? thermal::TransientBackend::kRom
+                                    : thermal::TransientBackend::kFull;
 
     const core::MissionResult result =
         core::run_mission(mission, worker.thermal_models.model_for(config, scenario));

@@ -226,6 +226,13 @@ const std::vector<ParameterInfo>& parameter_registry() {
        nullptr},
       {"workload_repeats", "repeats of the mission workload trace (mission evaluator)",
        nullptr},
+      // Thermal-structural so rom and full rows never share a per-worker
+      // cache slot (the reduced model's solve history lives with the
+      // engine, but the cache key must still separate the two backends).
+      {"transient",
+       "thermal stepping backend: 0 = full grid solve, 1 = certified reduced-order "
+       "(mission evaluator)",
+       nullptr, /*thermal_structural=*/true},
   };
   return registry;
 }

@@ -241,6 +241,10 @@ class ThermalModel {
 
  private:
   friend class ThermalSolveContext;
+  // The reduced-order backend (thermal/rom.h) assembles the same operator
+  // through fill_operator and mirrors package_solution with cached block
+  // weights, so it shares the private grid internals.
+  friend class ReducedThermalModel;
 
   struct ZSlice {
     double dz = 0.0;

@@ -1,11 +1,28 @@
 #include "thermal/transient.h"
 
 #include <cmath>
+#include <optional>
+#include <stdexcept>
 #include <utility>
 
 #include "numerics/contracts.h"
 
 namespace brightsi::thermal {
+
+const char* transient_backend_name(TransientBackend backend) {
+  return backend == TransientBackend::kRom ? "rom" : "full";
+}
+
+TransientBackend parse_transient_backend(const std::string& name) {
+  if (name == "full") {
+    return TransientBackend::kFull;
+  }
+  if (name == "rom") {
+    return TransientBackend::kRom;
+  }
+  throw std::invalid_argument("unknown transient backend '" + name +
+                              "' (expected full or rom)");
+}
 
 namespace {
 
@@ -95,6 +112,9 @@ TransientEngine::TransientEngine(const ThermalModel& model,
                ? *options_.initial_state
                : model.uniform_state(operating_point.inlet_temperature_k);
   options_.initial_state = nullptr;  // consumed; the engine owns state_ now
+  if (options_.backend == TransientBackend::kRom) {
+    rom_ = std::make_unique<ReducedThermalModel>(model, operating_point_, options_.rom);
+  }
 }
 
 void TransientEngine::run(const chip::WorkloadTrace& trace,
@@ -122,8 +142,23 @@ void TransientEngine::run(const chip::WorkloadTrace& trace, const FloorplanFn& f
     const chip::WorkloadPhase& phase = *step.phase;
     const chip::Floorplan floorplan = floorplan_for(phase, step);
     floorplans.front() = &floorplan;
-    ThermalSolution solution =
-        context_.step_transient(state_, floorplans, operating_point_, step.dt_s());
+    ThermalSolution solution;
+    bool reduced = false;
+    if (rom_ != nullptr) {
+      if (std::optional<ThermalSolution> attempt =
+              rom_->try_step(state_, floorplans, step.dt_s())) {
+        solution = std::move(*attempt);
+        reduced = true;
+      }
+    }
+    if (!reduced) {
+      solution = context_.step_transient(state_, floorplans, operating_point_, step.dt_s());
+      if (rom_ != nullptr) {
+        // Certified fallback: the full snapshot (taken from the state the
+        // engine still holds) enriches the basis for this step length.
+        rom_->enrich(step.dt_s(), floorplans, solution, state_);
+      }
+    }
     ++steps_taken_;
 
     const double mean_outlet_k =

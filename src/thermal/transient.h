@@ -20,13 +20,29 @@
 #define BRIGHTSI_THERMAL_TRANSIENT_H
 
 #include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "chip/workload.h"
 #include "thermal/model.h"
+#include "thermal/rom.h"
 #include "thermal/solve_context.h"
 
 namespace brightsi::thermal {
+
+/// Which backend steps the trace (docs/SOLVERS.md).
+enum class TransientBackend {
+  kFull,  ///< full-grid backward-Euler solve every step — the default, bit-stable path
+  kRom,   ///< reduced-order projection with certified fallback (thermal/rom.h)
+};
+
+/// Name of a transient backend ("full" / "rom"), for CLIs and bench JSON.
+[[nodiscard]] const char* transient_backend_name(TransientBackend backend);
+
+/// Parses "full" / "rom" (the CLI vocabulary). Throws std::invalid_argument
+/// on anything else, listing the accepted names.
+[[nodiscard]] TransientBackend parse_transient_backend(const std::string& name);
 
 /// One scheduled backward-Euler step: the interval (t_begin, t_end].
 /// `phase` borrows from the WorkloadTrace the schedule was built from,
@@ -68,6 +84,12 @@ struct TransientEngineOptions {
   /// (static across the trace), bottom to top. Size must equal the model's
   /// die_count() - 1; leave empty for single-die stacks.
   std::vector<chip::Floorplan> upper_die_floorplans;
+  /// Stepping backend. kFull reproduces the seed path bit-for-bit; kRom
+  /// serves steps from the reduced model whenever its certified error
+  /// bound stays within rom.tolerance_k, falling back (and enriching the
+  /// basis) on the steps where it does not.
+  TransientBackend backend = TransientBackend::kFull;
+  RomOptions rom;  ///< used only when backend == kRom
 };
 
 /// Drives a WorkloadTrace through a ThermalModel with backward-Euler
@@ -116,6 +138,9 @@ class TransientEngine {
   [[nodiscard]] const ThermalSolveContext::Stats& thermal_stats() const {
     return context_.stats();
   }
+  /// The reduced backend's work counters and certificate trail; nullptr
+  /// when the engine runs the full backend.
+  [[nodiscard]] const ReducedThermalModel* rom() const { return rom_.get(); }
   /// Steps taken across every run() of this engine's lifetime.
   [[nodiscard]] long long steps_taken() const { return steps_taken_; }
 
@@ -124,6 +149,7 @@ class TransientEngine {
   OperatingPoint operating_point_;
   TransientEngineOptions options_;
   ThermalSolveContext context_;
+  std::unique_ptr<ReducedThermalModel> rom_;  // live only for kRom
   numerics::Grid3<double> state_;
   long long steps_taken_ = 0;
 };

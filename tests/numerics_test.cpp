@@ -10,6 +10,7 @@
 #include "numerics/grid.h"
 #include "numerics/interpolation.h"
 #include "numerics/linear_solvers.h"
+#include "numerics/model_reduction.h"
 #include "numerics/multigrid.h"
 #include "numerics/root_finding.h"
 #include "numerics/sparse_matrix.h"
@@ -1004,6 +1005,85 @@ TEST(SparseMatrix, CopyValuesFromRequiresIdenticalPattern) {
   t3.add(1, 1, 1.0);
   const nm::CsrMatrix c = nm::CsrMatrix::from_triplets(2, 2, t3);
   EXPECT_THROW(a.copy_values_from(c), std::invalid_argument);
+}
+
+// ------------------------------------------------------- model reduction
+
+TEST(OrthonormalBasis, AppendOrthonormalizesAndDropsDependents) {
+  nm::OrthonormalBasis basis(3);
+  EXPECT_TRUE(basis.append(std::vector<double>{2.0, 0.0, 0.0}, 1e-12));
+  // A scaled copy of a stored column is already in the span: rejected.
+  EXPECT_FALSE(basis.append(std::vector<double>{-7.0, 0.0, 0.0}, 1e-12));
+  EXPECT_TRUE(basis.append(std::vector<double>{1.0, 1.0, 0.0}, 1e-12));
+  ASSERT_EQ(basis.size(), 2);
+  // V'V = I: each column is unit length and orthogonal to the others.
+  for (int a = 0; a < basis.size(); ++a) {
+    for (int b = 0; b < basis.size(); ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < basis.dimension(); ++i) {
+        dot += basis.column(a)[i] * basis.column(b)[i];
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-14) << a << "," << b;
+    }
+  }
+}
+
+TEST(OrthonormalBasis, ProjectThenLiftReproducesVectorsInTheSpan) {
+  nm::OrthonormalBasis basis(4);
+  ASSERT_TRUE(basis.append(std::vector<double>{1.0, 2.0, 0.0, 0.0}, 1e-12));
+  ASSERT_TRUE(basis.append(std::vector<double>{0.0, 1.0, 1.0, 0.0}, 1e-12));
+  const std::vector<double> in_span = {2.0, 5.0, 1.0, 0.0};  // 2*v1 + 1*v2
+  std::vector<double> coefficients(2), lifted(4);
+  basis.project(in_span, coefficients);
+  basis.lift(coefficients, lifted);
+  for (std::size_t i = 0; i < lifted.size(); ++i) {
+    EXPECT_NEAR(lifted[i], in_span[i], 1e-13) << i;
+  }
+  // A vector orthogonal to the span projects to zero.
+  basis.project(std::vector<double>{0.0, 0.0, 0.0, 3.0}, coefficients);
+  EXPECT_NEAR(coefficients[0], 0.0, 1e-14);
+  EXPECT_NEAR(coefficients[1], 0.0, 1e-14);
+}
+
+TEST(OrthonormalBasis, PackedRowsMirrorTheColumns) {
+  nm::OrthonormalBasis basis(3);
+  ASSERT_TRUE(basis.append(std::vector<double>{1.0, 1.0, 0.0}, 1e-12));
+  ASSERT_TRUE(basis.append(std::vector<double>{0.0, 1.0, 1.0}, 1e-12));
+  for (std::size_t i = 0; i < basis.dimension(); ++i) {
+    const std::span<const double> row = basis.packed_row(i);
+    ASSERT_EQ(row.size(), static_cast<std::size_t>(basis.size()));
+    for (int j = 0; j < basis.size(); ++j) {
+      EXPECT_DOUBLE_EQ(row[j], basis.column(j)[i]) << i << "," << j;
+    }
+  }
+}
+
+TEST(BlockArnoldi, ExpandsUntilTheSubspaceIsInvariant) {
+  // Cyclic shift: e1 -> e2 -> e3 -> e1. From seed e1 the Krylov subspace
+  // is all of R^3, reached after two moments; a third moment adds nothing.
+  const auto cycle = [](std::span<const double> in, std::span<double> out) {
+    out[1] = in[0];
+    out[2] = in[1];
+    out[0] = in[2];
+  };
+  nm::OrthonormalBasis basis(3);
+  const std::vector<std::vector<double>> seeds = {{1.0, 0.0, 0.0}};
+  const int added = nm::block_arnoldi_expand(basis, seeds, 5, 10, 1e-12, cycle);
+  EXPECT_EQ(added, 3);  // seed + two moments; the early-out stopped round 3
+  EXPECT_EQ(basis.size(), 3);
+}
+
+TEST(BlockArnoldi, StopsAtTheBasisCap) {
+  const auto cycle = [](std::span<const double> in, std::span<double> out) {
+    out[1] = in[0];
+    out[2] = in[1];
+    out[0] = in[2];
+  };
+  nm::OrthonormalBasis basis(3);
+  const std::vector<std::vector<double>> seeds = {{1.0, 0.0, 0.0}};
+  const int added = nm::block_arnoldi_expand(basis, seeds, 5, 2, 1e-12, cycle);
+  EXPECT_EQ(added, 2);
+  EXPECT_EQ(basis.size(), 2);
 }
 
 }  // namespace

@@ -450,6 +450,28 @@ TEST(SweepMission, EnduranceRowsByteIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(SweepMission, RomRowsByteIdenticalAcrossThreadCounts) {
+  // The reduced-order backend through the sweep engine: stamping
+  // transient=1 onto endurance scenarios (what `brightsi_sweep --transient
+  // rom` does) must keep rows byte-identical at 1 and 4 threads — each
+  // ReducedThermalModel is private to its engine, never shared across
+  // workers, so thread count cannot leak into the certificate trail.
+  sw::SweepPlan plan = sw::make_registered_plan("mission_endurance");
+  plan.scenarios.resize(3);
+  for (sw::ScenarioSpec& scenario : plan.scenarios) {
+    scenario.set("transient", 1.0);
+  }
+  const sw::SweepResult serial = sw::SweepRunner({1}).run(plan);
+  const sw::SweepResult parallel = sw::SweepRunner({4}).run(plan);
+  ASSERT_EQ(serial.failure_count(), 0);
+  EXPECT_EQ(csv_of(serial), csv_of(parallel));
+  EXPECT_EQ(json_of(serial), json_of(parallel));
+  for (const sw::ScenarioResult& row : serial.rows) {
+    EXPECT_GT(row.metrics[0], 0.0) << row.name;   // steps
+    EXPECT_LT(row.metrics[1], 0.95) << row.name;  // final_soc below initial
+  }
+}
+
 TEST(SweepMission, EvaluatorReusesTheWorkerThermalModel) {
   sw::SweepPlan plan = sw::make_registered_plan("mission_endurance");
   plan.scenarios.resize(2);  // same thermal structure, different tanks

@@ -91,6 +91,46 @@ TEST(CliArgs, DuplicateFlagsLastWins) {
   EXPECT_EQ(threads, 8);
 }
 
+TEST(CliArgs, NextChoiceArgAcceptsListedValuesAndAdvances) {
+  Argv args({"prog", "--solver", "mg", "--transient", "rom"});
+  int i = 1;
+  EXPECT_EQ(to::next_choice_arg(args.argc(), args.argv(), i, "--solver", {"ilu0", "mg"}),
+            "mg");
+  EXPECT_EQ(i, 2);  // consumed the value slot
+  i = 3;
+  EXPECT_EQ(to::next_choice_arg(args.argc(), args.argv(), i, "--transient", {"full", "rom"}),
+            "rom");
+}
+
+TEST(CliArgs, NextChoiceArgRejectsUnlistedValueListingTheVocabulary) {
+  // CI pins this exact text (with the full vocabulary) on both drivers via
+  // PASS_REGULAR_EXPRESSION; the helper is the single source of it.
+  Argv args({"prog", "--transient", "nope"});
+  int i = 1;
+  const std::string message = invalid_argument_message([&] {
+    (void)to::next_choice_arg(args.argc(), args.argv(), i, "--transient", {"full", "rom"});
+  });
+  EXPECT_EQ(message, "invalid value 'nope' after --transient (expected one of: full, rom)");
+
+  Argv solver_args({"prog", "--solver", "cholesky"});
+  i = 1;
+  const std::string solver_message = invalid_argument_message([&] {
+    (void)to::next_choice_arg(solver_args.argc(), solver_args.argv(), i, "--solver",
+                              {"ilu0", "mg"});
+  });
+  EXPECT_EQ(solver_message,
+            "invalid value 'cholesky' after --solver (expected one of: ilu0, mg)");
+}
+
+TEST(CliArgs, NextChoiceArgMissingValueNamesTheFlag) {
+  Argv args({"prog", "--transient"});
+  int i = 1;
+  const std::string message = invalid_argument_message([&] {
+    (void)to::next_choice_arg(args.argc(), args.argv(), i, "--transient", {"full", "rom"});
+  });
+  EXPECT_EQ(message, "missing value after --transient");
+}
+
 TEST(CliArgs, UnknownOptionMessageMatchesTheCiPinnedText) {
   // CI pins "error: unknown option" via PASS_REGULAR_EXPRESSION on both
   // drivers; the shared helper is what keeps their texts identical.

@@ -90,6 +90,46 @@ TEST(TransientSchedule, UnalignedScheduleStillCoversTheTrace) {
   }
 }
 
+TEST(TransientSchedule, UnalignedSchedulePinsStepCountAndMidpointPhases) {
+  // align_phase_boundaries = false: plain dt steps run straight through
+  // phase edges; a straddling step belongs to the phase at its midpoint.
+  // Phases A (0.5 s) + B (0.7 s) at dt 0.08: 1.2 / 0.08 divides, so 15
+  // equal steps; step 6 spans [0.48, 0.56] and its midpoint 0.52 lies in B.
+  std::vector<ch::WorkloadPhase> phases(2);
+  phases[0] = {"A", 0.5, 1.0, 1.0, 1.0, 1.0};
+  phases[1] = {"B", 0.7, 0.2, 0.2, 0.2, 0.2};
+  const ch::WorkloadTrace trace(phases);
+  const auto schedule = th::make_transient_schedule(trace, {0.08, false});
+  ASSERT_EQ(schedule.size(), 15u);
+  EXPECT_DOUBLE_EQ(schedule.back().t_end_s, 1.2);
+  EXPECT_NEAR(schedule[6].t_begin_s, 0.48, 1e-12);
+  EXPECT_NEAR(schedule[6].t_end_s, 0.56, 1e-12);
+  EXPECT_EQ(schedule[6].phase->name, "B");  // midpoint 0.52 is past the edge
+  EXPECT_EQ(schedule[5].phase->name, "A");  // midpoint 0.44 is before it
+  // Every step's phase is exactly the trace's phase at the step midpoint.
+  for (const th::TransientStep& step : schedule) {
+    EXPECT_EQ(step.phase, &trace.phase_at(0.5 * (step.t_begin_s + step.t_end_s)));
+  }
+}
+
+TEST(TransientSchedule, UnalignedResidualStepStillCoversTheTraceEnd) {
+  // dt 0.07 over 1.2 s does not divide: 17 full steps plus one short
+  // residual closer that ends exactly on the trace end.
+  std::vector<ch::WorkloadPhase> phases(2);
+  phases[0] = {"A", 0.5, 1.0, 1.0, 1.0, 1.0};
+  phases[1] = {"B", 0.7, 0.2, 0.2, 0.2, 0.2};
+  const ch::WorkloadTrace trace(phases);
+  const auto schedule = th::make_transient_schedule(trace, {0.07, false});
+  ASSERT_EQ(schedule.size(), 18u);
+  EXPECT_DOUBLE_EQ(schedule.back().t_end_s, 1.2);
+  EXPECT_NEAR(schedule.back().dt_s(), 0.01, 1e-9);
+  for (std::size_t i = 0; i + 1 < schedule.size(); ++i) {
+    EXPECT_NEAR(schedule[i].dt_s(), 0.07, 1e-12);
+    EXPECT_DOUBLE_EQ(schedule[i].t_end_s, schedule[i + 1].t_begin_s);
+  }
+  EXPECT_EQ(schedule.back().phase->name, "B");
+}
+
 TEST(TransientSchedule, RejectsBadInputs) {
   const auto trace = ch::full_load_trace(1.0);
   EXPECT_THROW((void)th::make_transient_schedule(trace, {0.0, true}),

@@ -22,6 +22,8 @@
 //   --json FILE       study metadata + best + front + archive as JSON
 //   --quiet           suppress the result tables on stdout
 //   --solver S        thermal preconditioner: ilu0 (default) or mg
+//   --transient B     thermal stepping backend for mission studies:
+//                     full (default) or rom (certified reduced-order)
 #include <cstdio>
 #include <fstream>
 #include <functional>
@@ -45,7 +47,8 @@ int usage(const char* argv0, int exit_code) {
                "       %s <study> [--budget N] [--threads N] [--axis-points K]\n"
                "           [--no-polish] [--no-reuse] [--maximize M[*W]] [--minimize M[*W]]\n"
                "           [--cap M=V] [--floor M=V] [--csv FILE] [--pareto FILE]\n"
-               "           [--json FILE] [--quiet] [--solver ilu0|mg]\n",
+               "           [--json FILE] [--quiet] [--solver ilu0|mg]"
+               " [--transient full|rom]\n",
                argv0, argv0);
   return exit_code;
 }
@@ -126,6 +129,7 @@ int main(int argc, char** argv) {
     std::string json_path;
     bool quiet = false;
     std::string solver_name;
+    std::string transient_name;
     std::vector<op::ObjectiveTerm> term_overrides;
     std::vector<op::MetricConstraint> extra_constraints;
 
@@ -163,7 +167,10 @@ int main(int argc, char** argv) {
       } else if (arg == "--quiet") {
         quiet = true;
       } else if (arg == "--solver") {
-        solver_name = next();
+        solver_name = brightsi::tools::next_choice_arg(argc, argv, i, arg, {"ilu0", "mg"});
+      } else if (arg == "--transient") {
+        transient_name =
+            brightsi::tools::next_choice_arg(argc, argv, i, arg, {"full", "rom"});
       } else {
         std::fprintf(stderr, "error: %s\n",
                      brightsi::tools::unknown_option_message(arg).c_str());
@@ -175,6 +182,11 @@ int main(int argc, char** argv) {
     if (!solver_name.empty()) {
       study.base.thermal_grid.solver_config.kind =
           brightsi::thermal::parse_solver_kind(solver_name);
+    }
+    if (transient_name == "rom") {
+      // Candidate names derive from searched parameters only, so the fixed
+      // backend override keeps archive rows comparable against a full run.
+      study.fixed.emplace_back("transient", 1.0);
     }
     if (!term_overrides.empty()) {
       study.objective.terms = term_overrides;

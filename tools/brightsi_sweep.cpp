@@ -39,7 +39,8 @@ int usage(const char* argv0, int exit_code) {
   std::fprintf(exit_code == 0 ? stdout : stderr,
                "usage: %s --list | --params\n"
                "       %s <plan> [--threads N] [--csv FILE] [--json FILE]"
-               " [--timing FILE] [--quiet] [--no-reuse] [--solver ilu0|mg]\n"
+               " [--timing FILE] [--quiet] [--no-reuse] [--solver ilu0|mg]"
+               " [--transient full|rom]\n"
                "       %s custom --evaluator cosim|array|array_thermal|rail|mission|stack"
                " (--grid p=v1,v2,... | --set p=v)... [options]\n",
                argv0, argv0, argv0);
@@ -143,6 +144,7 @@ int main(int argc, char** argv) {
     bool quiet = false;
     std::string evaluator_name;
     std::string solver_name;
+    std::string transient_name;
     std::vector<sw::GridAxis> grid_axes;
     std::vector<std::pair<std::string, double>> fixed;
 
@@ -165,7 +167,10 @@ int main(int argc, char** argv) {
       } else if (arg == "--evaluator") {
         evaluator_name = next();
       } else if (arg == "--solver") {
-        solver_name = next();
+        solver_name = brightsi::tools::next_choice_arg(argc, argv, i, arg, {"ilu0", "mg"});
+      } else if (arg == "--transient") {
+        transient_name =
+            brightsi::tools::next_choice_arg(argc, argv, i, arg, {"full", "rom"});
       } else if (arg == "--grid") {
         grid_axes.push_back(parse_axis(next()));
       } else if (arg == "--set") {
@@ -198,6 +203,15 @@ int main(int argc, char** argv) {
     if (!solver_name.empty()) {
       plan.base.thermal_grid.solver_config.kind =
           brightsi::thermal::parse_solver_kind(solver_name);
+    }
+    if (transient_name == "rom") {
+      // Stamp the backend onto every scenario (an explicit per-scenario
+      // transient= override wins; ScenarioSpec::set replaces in place).
+      for (sw::ScenarioSpec& scenario : plan.scenarios) {
+        if (!scenario.get("transient")) {
+          scenario.set("transient", 1.0);
+        }
+      }
     }
     plan.validate();
 

@@ -4,6 +4,7 @@
 #ifndef BRIGHTSI_TOOLS_CLI_ARGS_H
 #define BRIGHTSI_TOOLS_CLI_ARGS_H
 
+#include <initializer_list>
 #include <stdexcept>
 #include <string>
 
@@ -36,6 +37,25 @@ inline int next_int_arg(int argc, char** argv, int& i, const std::string& flag,
     throw std::invalid_argument(flag + " must be >= " + std::to_string(minimum));
   }
   return value;
+}
+
+/// next_arg constrained to an enumerated vocabulary (--solver ilu0|mg,
+/// --transient full|rom). Throws with the full list of valid choices, so a
+/// typo tells the user the vocabulary instead of just rejecting; both CLIs
+/// share the one message (pinned by tests/tools_test.cpp and the
+/// PASS_REGULAR_EXPRESSION ctest cases).
+inline std::string next_choice_arg(int argc, char** argv, int& i, const std::string& flag,
+                                   std::initializer_list<const char*> choices) {
+  const std::string value = next_arg(argc, argv, i, flag);
+  std::string listed;
+  for (const char* choice : choices) {
+    if (value == choice) {
+      return value;
+    }
+    listed += listed.empty() ? choice : std::string(", ") + choice;
+  }
+  throw std::invalid_argument("invalid value '" + value + "' after " + flag +
+                              " (expected one of: " + listed + ")");
 }
 
 /// The exact unknown-flag diagnostic both CLIs print (prefixed "error: ");
