@@ -1,0 +1,202 @@
+// Sweep execution-service throughput: the operating_grid plan driven
+// through the shard backend against a fresh and then a warm
+// content-addressed result store, plus a 3-shard cooperative fill of one
+// store directory.
+//
+// Reports rows/second cold (every row evaluated + appended) and warm
+// (every row resolved from the store without evaluation), the warm-run
+// store hit fraction (the resume guarantee: a re-run against a complete
+// store skips all evaluations) and the lease steals observed during the
+// sharded fill.
+//
+// Prints a human-readable summary and writes a machine-readable
+// BENCH_sweep_service.json uploaded by the CI release-bench job next to
+// BENCH_opt.json and friends. A non-flag first argument overrides the
+// JSON path.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "sweep/execution.h"
+#include "sweep/registry.h"
+#include "sweep/runner.h"
+#include "sweep/scenario_hash.h"
+
+namespace sw = brightsi::sweep;
+
+namespace {
+
+constexpr const char* kPlanName = "operating_grid";
+
+struct Measurement {
+  long long rows = 0;
+  double cold_wall_s = 0.0;
+  double warm_wall_s = 0.0;
+  long long warm_store_hits = 0;
+  long long warm_evaluated = 0;
+  long long shard_evaluated = 0;  // across the 3-shard cooperative fill
+  long long lease_steals = 0;
+
+  [[nodiscard]] double cold_rows_per_s() const {
+    return cold_wall_s > 0.0 ? static_cast<double>(rows) / cold_wall_s : 0.0;
+  }
+  [[nodiscard]] double warm_rows_per_s() const {
+    return warm_wall_s > 0.0 ? static_cast<double>(rows) / warm_wall_s : 0.0;
+  }
+  [[nodiscard]] double warm_hit_fraction() const {
+    return rows > 0 ? static_cast<double>(warm_store_hits) / static_cast<double>(rows)
+                    : 0.0;
+  }
+};
+
+/// A fresh store directory under the system temp dir.
+std::string fresh_store_dir(const char* tag) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / (std::string("brightsi_bench_store_") + tag);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+sw::SweepResult run_against_store(const sw::SweepPlan& plan, const std::string& dir,
+                                  int shard_index, int shard_count) {
+  sw::ShardOptions options;
+  options.store_dir = dir;
+  options.scope = plan.name;
+  options.shard_index = shard_index;
+  options.shard_count = shard_count;
+  const sw::SweepRunner runner(sw::make_shard_backend(options));
+  return runner.run(plan);
+}
+
+Measurement measure_service() {
+  const sw::SweepPlan plan = sw::make_registered_plan(kPlanName);
+  Measurement m;
+  m.rows = static_cast<long long>(plan.scenarios.size());
+
+  // Cold: every row evaluated and appended (store created on the fly).
+  const std::string dir = fresh_store_dir("main");
+  auto start = std::chrono::steady_clock::now();
+  const sw::SweepResult cold = run_against_store(plan, dir, 0, 1);
+  m.cold_wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  // Warm: a second process (conceptually) re-running the same sweep must
+  // resolve every row from the store.
+  start = std::chrono::steady_clock::now();
+  const sw::SweepResult warm = run_against_store(plan, dir, 0, 1);
+  m.warm_wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  m.warm_store_hits = warm.exec.store_hits;
+  m.warm_evaluated = warm.exec.evaluated;
+
+  // Sharded fill of a fresh store: three cooperating instances, then a
+  // merge — the distributed quick start in one process.
+  const std::string sharded = fresh_store_dir("sharded");
+  long long steals = 0;
+  long long evaluated = 0;
+  for (int index = 0; index < 3; ++index) {
+    const sw::SweepResult partial = run_against_store(plan, sharded, index, 3);
+    steals += partial.exec.leases_stolen;
+    evaluated += partial.exec.evaluated;
+  }
+  m.lease_steals = steals;
+  m.shard_evaluated = evaluated;
+  (void)cold;
+
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(sharded);
+  return m;
+}
+
+void write_json(const char* path, const Measurement& m) {
+  std::FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(file,
+               "{\n"
+               "  \"bench\": \"sweep_service\",\n"
+               "  \"plan\": \"%s\",\n"
+               "  \"rows\": %lld,\n"
+               "  \"cold_wall_s\": %.6f,\n"
+               "  \"cold_rows_per_s\": %.4f,\n"
+               "  \"warm_wall_s\": %.6f,\n"
+               "  \"warm_rows_per_s\": %.4f,\n"
+               "  \"warm_store_hits\": %lld,\n"
+               "  \"warm_evaluated\": %lld,\n"
+               "  \"warm_store_hit_rate\": %.4f,\n"
+               "  \"shard_evaluated\": %lld,\n"
+               "  \"lease_steals\": %lld\n"
+               "}\n",
+               kPlanName, m.rows, m.cold_wall_s, m.cold_rows_per_s(), m.warm_wall_s,
+               m.warm_rows_per_s(), m.warm_store_hits, m.warm_evaluated,
+               m.warm_hit_fraction(), m.shard_evaluated, m.lease_steals);
+  std::fclose(file);
+  std::printf("wrote %s\n", path);
+}
+
+void print_reproduction(const char* json_path) {
+  const Measurement m = measure_service();
+  std::printf("== sweep service: %s through the shard backend ==\n", kPlanName);
+  std::printf("cold: %lld rows in %.3f s -> %.2f rows/s (evaluate + append)\n", m.rows,
+              m.cold_wall_s, m.cold_rows_per_s());
+  std::printf("warm: %lld rows in %.3f s -> %.2f rows/s (%lld store hits, %lld "
+              "evaluated, %.0f%% hit rate)\n",
+              m.rows, m.warm_wall_s, m.warm_rows_per_s(), m.warm_store_hits,
+              m.warm_evaluated, 100.0 * m.warm_hit_fraction());
+  std::printf("3-shard fill: %lld rows evaluated across shards, %lld lease steals\n\n",
+              m.shard_evaluated, m.lease_steals);
+  write_json(json_path, m);
+}
+
+/// Content-hash throughput: the per-row identity cost the store adds to
+/// every scheduled scenario (canonical bytes + two FNV-1a passes).
+void bm_hash_scenario(benchmark::State& state) {
+  const sw::SweepPlan plan = sw::make_registered_plan(kPlanName);
+  const std::uint64_t salt =
+      sw::store_salt(plan.name, plan.evaluator.name, plan.evaluator.metrics);
+  std::size_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw::hash_scenario(plan.scenarios[index], salt));
+    index = (index + 1) % plan.scenarios.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_hash_scenario);
+
+/// Warm-store row resolution: execute() against a complete store — the
+/// pure cache path every resumed or re-run sweep takes.
+void bm_warm_execute(benchmark::State& state) {
+  const sw::SweepPlan plan = sw::make_registered_plan(kPlanName);
+  const std::string dir = fresh_store_dir("bm_warm");
+  (void)run_against_store(plan, dir, 0, 1);  // fill once
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_against_store(plan, dir, 0, 1));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long long>(plan.scenarios.size()));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(bm_warm_execute)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = "BENCH_sweep_service.json";
+  if (argc > 1 && std::strncmp(argv[1], "--", 2) != 0) {
+    json_path = argv[1];
+    for (int i = 1; i + 1 < argc; ++i) {
+      argv[i] = argv[i + 1];
+    }
+    --argc;
+  }
+  print_reproduction(json_path);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -7,8 +7,10 @@
 //
 // Small tanks (try 2) drain visibly within the run; liter-class tanks are
 // flat over any interactive timescale (see bench/ablation_soc for hours).
-// The second leg resumes from the first leg's thermal + SOC checkpoint,
-// demonstrating the transient engine's resumable missions.
+// The second leg resumes from the first leg's thermal + SOC checkpoint —
+// round-tripped through a mission checkpoint file (the shared versioned
+// binary framing of core/binfile.h), so a resumed mission can cross a
+// process boundary.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -52,10 +54,17 @@ int main(int argc, char** argv) {
   print_samples(leg1);
 
   // Second cycle of the duty loop, resumed from the first leg's checkpoint
-  // (thermal field + SOC) instead of a cold uniform start.
+  // (thermal field + SOC) instead of a cold uniform start. The checkpoint
+  // crosses a file round-trip: loaded values are bitwise the saved ones,
+  // so leg 2 is byte-identical to an in-process handoff.
+  const char* checkpoint_path = "mission_endurance.ckpt";
+  co::save_mission_checkpoint(checkpoint_path, leg1.final_state, leg1.final_soc);
+  const co::MissionCheckpoint checkpoint = co::load_mission_checkpoint(checkpoint_path);
+  std::remove(checkpoint_path);
+
   co::MissionConfig leg2_config = config;
-  leg2_config.initial_soc = leg1.final_soc;
-  const co::MissionResult leg2 = co::run_mission(leg2_config, nullptr, &leg1.final_state);
+  leg2_config.initial_soc = checkpoint.soc;
+  const co::MissionResult leg2 = co::run_mission(leg2_config, nullptr, &checkpoint.state);
   print_samples(leg2);
 
   const double energy_j = leg1.energy_delivered_j + leg2.energy_delivered_j;

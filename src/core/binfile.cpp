@@ -1,0 +1,201 @@
+#include "core/binfile.h"
+
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace brightsi::core {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& detail) {
+  throw std::runtime_error(what + ": " + detail);
+}
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+void put_u8(std::string& out, std::uint8_t value) {
+  out.push_back(static_cast<char>(value));
+}
+
+void put_u32(std::string& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xFFu));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xFFu));
+  }
+}
+
+void put_f64(std::string& out, double value) {
+  put_u64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+void put_bytes(std::string& out, std::string_view bytes) {
+  put_u32(out, static_cast<std::uint32_t>(bytes.size()));
+  out.append(bytes);
+}
+
+std::string make_binfile_header(std::string_view magic, std::uint32_t format_version,
+                                std::uint64_t salt) {
+  if (magic.size() != kBinfileMagicBytes) {
+    throw std::logic_error("binfile magic must be exactly 8 bytes");
+  }
+  std::string header;
+  header.reserve(kBinfileMagicBytes + 12);
+  header.append(magic);
+  put_u32(header, format_version);
+  put_u64(header, salt);
+  return header;
+}
+
+void put_record(std::string& out, std::string_view payload) {
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  put_u32(out, crc32(payload));
+}
+
+void ByteReader::require(std::size_t n, const char* field) const {
+  if (remaining() < n) {
+    fail(what_, std::string("truncated file (need ") + std::to_string(n) +
+                    " more bytes for " + field + ", have " +
+                    std::to_string(remaining()) + " at offset " + std::to_string(pos_) +
+                    ")");
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  require(1, "u8");
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t ByteReader::u32() {
+  require(4, "u32");
+  std::uint32_t value = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    value |= static_cast<std::uint32_t>(static_cast<unsigned char>(data_[pos_++])) << shift;
+  }
+  return value;
+}
+
+std::uint64_t ByteReader::u64() {
+  require(8, "u64");
+  std::uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    value |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_++])) << shift;
+  }
+  return value;
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string ByteReader::bytes() {
+  const std::uint32_t length = u32();
+  require(length, "byte string");
+  std::string value(data_.substr(pos_, length));
+  pos_ += length;
+  return value;
+}
+
+std::string_view ByteReader::raw(std::size_t n) {
+  require(n, "raw bytes");
+  const std::string_view slice = data_.substr(pos_, n);
+  pos_ += n;
+  return slice;
+}
+
+BinfileHeader read_binfile_header(ByteReader& in, std::string_view magic,
+                                  std::uint32_t expected_version) {
+  in.require(kBinfileMagicBytes + 12, "file header");
+  const std::string_view found = in.raw(kBinfileMagicBytes);
+  if (found != magic) {
+    fail(in.what(), "not a " + std::string(magic) + " file (bad magic)");
+  }
+  BinfileHeader header;
+  header.format_version = in.u32();
+  if (header.format_version != expected_version) {
+    fail(in.what(), "format version " + std::to_string(header.format_version) +
+                        ", expected " + std::to_string(expected_version) +
+                        " — written by an incompatible version, refusing to read");
+  }
+  header.salt = in.u64();
+  return header;
+}
+
+RecordStatus read_record(ByteReader& in, std::string_view& payload) {
+  // A frame that runs past end-of-buffer is a torn tail write (the process
+  // died mid-append); report it instead of throwing so the caller can drop
+  // just that record.
+  if (in.remaining() < 4) {
+    return RecordStatus::kTruncated;
+  }
+  const std::uint32_t length = in.u32();
+  if (in.remaining() < static_cast<std::size_t>(length) + 4) {
+    return RecordStatus::kTruncated;
+  }
+  payload = in.raw(length);
+  const std::uint32_t stored_crc = in.u32();
+  const std::uint32_t computed_crc = crc32(payload);
+  if (stored_crc != computed_crc) {
+    char detail[96];
+    std::snprintf(detail, sizeof(detail),
+                  "corrupt record (crc mismatch: stored %08x, computed %08x)", stored_crc,
+                  computed_crc);
+    fail(in.what(), detail);
+  }
+  return RecordStatus::kOk;
+}
+
+std::uint32_t crc32(std::string_view bytes) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : bytes) {
+    crc = table[(crc ^ static_cast<unsigned char>(c)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    fail(path, "cannot open file for reading");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) {
+    fail(path, "read error");
+  }
+  return std::move(buffer).str();
+}
+
+void write_file_bytes(const std::string& path, std::string_view bytes) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    fail(path, "cannot open file for writing");
+  }
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  file.flush();
+  if (!file) {
+    fail(path, "write error");
+  }
+}
+
+}  // namespace brightsi::core

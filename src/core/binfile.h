@@ -1,0 +1,117 @@
+// Shared framing for the repo's binary files: the sweep result store, the
+// sweep journal and mission checkpoint files all open with one versioned
+// header (8-byte magic + u32 format version + u64 scenario-hash salt) and
+// carry their payloads in u32-length + crc32 framed records.
+//
+// Everything is little-endian and byte-exact: doubles travel as their raw
+// IEEE-754 bit patterns, so a value read back is bitwise the value written
+// — the foundation of the store's byte-identical merged output.
+//
+// Readers never exhibit UB on a damaged file: every accessor
+// bounds-checks and throws std::runtime_error with a diagnostic naming
+// the file and the failure (truncated / bad magic / wrong version / crc
+// mismatch).
+#ifndef BRIGHTSI_CORE_BINFILE_H
+#define BRIGHTSI_CORE_BINFILE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace brightsi::core {
+
+/// Magic strings are exactly this long (no NUL terminator on disk).
+inline constexpr std::size_t kBinfileMagicBytes = 8;
+
+// ------------------------------------------------------------- writers
+// Append little-endian primitives to a byte buffer. Buffers are written
+// to disk in one piece, so a torn write can only truncate, never
+// interleave.
+
+void put_u8(std::string& out, std::uint8_t value);
+void put_u32(std::string& out, std::uint32_t value);
+void put_u64(std::string& out, std::uint64_t value);
+/// Raw IEEE-754 bits — bitwise round-trip, including -0.0 and subnormals.
+void put_f64(std::string& out, double value);
+/// u32 length + payload bytes.
+void put_bytes(std::string& out, std::string_view bytes);
+
+/// The shared versioned header: magic (kBinfileMagicBytes) + u32 format
+/// version + u64 salt. `magic` must be exactly kBinfileMagicBytes long.
+[[nodiscard]] std::string make_binfile_header(std::string_view magic,
+                                              std::uint32_t format_version,
+                                              std::uint64_t salt);
+
+/// Appends one framed record: u32 payload length, payload, u32 crc32 of
+/// the payload.
+void put_record(std::string& out, std::string_view payload);
+
+// ------------------------------------------------------------- readers
+
+/// Bounds-checked little-endian cursor over a loaded byte buffer. `what`
+/// names the file in every diagnostic.
+class ByteReader {
+ public:
+  ByteReader(std::string_view data, std::string what)
+      : data_(data), what_(std::move(what)) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  /// u32 length + payload, as written by put_bytes.
+  [[nodiscard]] std::string bytes();
+  /// Raw slice of exactly `n` bytes.
+  [[nodiscard]] std::string_view raw(std::size_t n);
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] const std::string& what() const { return what_; }
+
+  /// Throws "<what>: truncated file (...)" unless `n` more bytes exist.
+  void require(std::size_t n, const char* field) const;
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  std::string what_;
+};
+
+struct BinfileHeader {
+  std::uint32_t format_version = 0;
+  std::uint64_t salt = 0;
+};
+
+/// Reads and validates the shared header: throws on a short buffer, a
+/// magic mismatch ("not a ... file") or a format-version mismatch
+/// ("written by an incompatible version").
+BinfileHeader read_binfile_header(ByteReader& in, std::string_view magic,
+                                  std::uint32_t expected_version);
+
+/// Outcome of reading one framed record at the reader's position.
+enum class RecordStatus {
+  kOk,        ///< payload read and crc-verified
+  kTruncated  ///< the frame runs past end-of-buffer (torn tail write)
+};
+
+/// Reads one framed record written by put_record. A frame that extends
+/// past the end of the buffer returns kTruncated (the caller decides
+/// whether a torn tail is tolerable); a complete frame whose crc does not
+/// match throws "<what>: corrupt record (crc mismatch ...)".
+RecordStatus read_record(ByteReader& in, std::string_view& payload);
+
+// ----------------------------------------------------------------- misc
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `bytes`.
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes);
+
+/// Whole file as a byte string; throws std::runtime_error when the file
+/// cannot be opened or read.
+[[nodiscard]] std::string read_file_bytes(const std::string& path);
+
+/// Writes `bytes` to `path` (truncating); throws on failure.
+void write_file_bytes(const std::string& path, std::string_view bytes);
+
+}  // namespace brightsi::core
+
+#endif  // BRIGHTSI_CORE_BINFILE_H

@@ -1,8 +1,12 @@
 #include "core/mission.h"
 
 #include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
 #include <utility>
 
+#include "core/binfile.h"
 #include "electrochem/constants.h"
 #include "flowcell/cell_array.h"
 #include "numerics/contracts.h"
@@ -82,9 +86,95 @@ MissionResult run_mission(const MissionConfig& config) {
 
 MissionResult run_mission(const MissionConfig& config,
                           std::shared_ptr<const thermal::ThermalModel> thermal_model,
-                          const numerics::Grid3<double>* initial_thermal_state) {
+                          const numerics::Grid3<double>* initial_thermal_state,
+                          MissionThermalTrajectory* record,
+                          const MissionThermalTrajectory* replay) {
   config.validate();
+  ensure(record == nullptr || replay == nullptr,
+         "run_mission: record and replay are mutually exclusive");
   const SystemConfig& sys = config.system;
+  const th::OperatingPoint op = sys.thermal_operating_point();
+
+  // Reservoir seeded with the system chemistry as the template.
+  ec::ReservoirSpec tank_spec = config.reservoir;
+  tank_spec.chemistry = sys.chemistry;
+  ec::ElectrolyteReservoir reservoir(tank_spec, config.initial_soc);
+
+  // The electrochemistry sees only the bottom channel layer's share of the
+  // pump total when interlayer cooling splits the flow (bitwise the
+  // configured spec for single-layer stacks). On replay the recorded split
+  // is used, so no thermal model is needed at all.
+  fc::ArraySpec electro_spec = sys.array_spec;
+  double electro_flow_override = replay != nullptr ? replay->electro_flow_m3_per_s : 0.0;
+
+  MissionResult result;
+
+  // The electrochemical half of one mission step — shared verbatim between
+  // the live engine callback and the trajectory replay loop, which is what
+  // makes replayed results bit-identical to a full run.
+  std::unique_ptr<fc::FlowCellArray> array;
+  double array_soc = reservoir.state_of_charge();
+  auto process_step = [&](const MissionThermalStep& step) {
+    // Refresh the electrochemical model when the tanks drifted enough.
+    if (std::abs(reservoir.state_of_charge() - array_soc) > config.soc_rebuild_threshold) {
+      array_soc = reservoir.state_of_charge();
+      array = std::make_unique<fc::FlowCellArray>(electro_spec,
+                                                  reservoir.chemistry_at(array_soc), sys.fvm);
+    }
+
+    const BusPoint bus = solve_bus(*array, sys.vrm_spec, step.rail_power_w,
+                                   op.inlet_temperature_k, step.mean_outlet_k);
+    if (bus.ok) {
+      reservoir.discharge(bus.current_a, step.dt_s);
+      result.energy_delivered_j += bus.voltage_v * bus.current_a * step.dt_s;
+    } else {
+      result.supply_always_ok = false;
+    }
+
+    const double peak_c = ec::constants::kelvin_to_celsius(step.peak_temperature_k);
+    result.max_peak_temperature_c = std::max(result.max_peak_temperature_c, peak_c);
+    result.final_soc = reservoir.state_of_charge();
+
+    if (!step.sampled) {
+      return;
+    }
+    MissionSample sample;
+    sample.time_s = step.t_end_s;
+    sample.dt_s = step.dt_s;
+    sample.phase = step.phase;
+    sample.peak_temperature_c = peak_c;
+    sample.mean_outlet_c = ec::constants::kelvin_to_celsius(step.mean_outlet_k);
+    sample.state_of_charge = reservoir.state_of_charge();
+    sample.bus_voltage_v = bus.voltage_v;
+    sample.bus_current_a = bus.current_a;
+    sample.supply_ok = bus.ok;
+    result.samples.push_back(std::move(sample));
+  };
+
+  if (replay != nullptr) {
+    if (electro_flow_override > 0.0) {
+      electro_spec.total_flow_m3_per_s = electro_flow_override;
+    }
+    array = std::make_unique<fc::FlowCellArray>(electro_spec, reservoir.chemistry_at_soc(),
+                                                sys.fvm);
+    result.samples.reserve(replay->steps.size());
+    for (const MissionThermalStep& step : replay->steps) {
+      process_step(step);
+    }
+    result.final_state = replay->final_state;
+    result.steps = replay->engine_steps;
+    result.thermal_iterations = replay->thermal_iterations;
+    result.thermal_assembly_time_s = replay->thermal_assembly_time_s;
+    result.thermal_setup_time_s = replay->thermal_setup_time_s;
+    result.thermal_solve_time_s = replay->thermal_solve_time_s;
+    result.rom_steps = replay->rom_steps;
+    result.rom_fallbacks = replay->rom_fallbacks;
+    result.rom_basis_size = replay->rom_basis_size;
+    result.rom_build_time_s = replay->rom_build_time_s;
+    result.rom_max_bound_k = replay->rom_max_bound_k;
+    result.rom_cumulative_bound_k = replay->rom_cumulative_bound_k;
+    return result;
+  }
 
   // Thermal model shared across the mission (built here unless the caller
   // hands one in, e.g. the sweep's per-worker cache); the transient engine
@@ -99,25 +189,12 @@ MissionResult run_mission(const MissionConfig& config,
                thermal_model->settings() == sys.thermal_grid,
            "run_mission: shared thermal model does not match the system config");
   }
-  const th::OperatingPoint op = sys.thermal_operating_point();
-
-  // Reservoir seeded with the system chemistry as the template.
-  ec::ReservoirSpec tank_spec = config.reservoir;
-  tank_spec.chemistry = sys.chemistry;
-  ec::ElectrolyteReservoir reservoir(tank_spec, config.initial_soc);
-
-  // The electrochemistry sees only the bottom channel layer's share of the
-  // pump total when interlayer cooling splits the flow (bitwise the
-  // configured spec for single-layer stacks).
-  fc::ArraySpec electro_spec = sys.array_spec;
   if (thermal_model->channel_layer_count() > 1) {
-    electro_spec.total_flow_m3_per_s = thermal_model->layer_flow_split(op).front();
+    electro_flow_override = thermal_model->layer_flow_split(op).front();
+    electro_spec.total_flow_m3_per_s = electro_flow_override;
   }
-
-  // Array rebuilt lazily as the SOC drifts.
-  double array_soc = reservoir.state_of_charge();
-  auto array = std::make_unique<fc::FlowCellArray>(electro_spec,
-                                                   reservoir.chemistry_at_soc(), sys.fvm);
+  array = std::make_unique<fc::FlowCellArray>(electro_spec, reservoir.chemistry_at_soc(),
+                                              sys.fvm);
 
   th::TransientEngineOptions engine_options;
   engine_options.schedule.dt_s = config.dt_s;
@@ -131,7 +208,6 @@ MissionResult run_mission(const MissionConfig& config,
   }
   th::TransientEngine engine(*thermal_model, op, engine_options);
 
-  MissionResult result;
   result.samples.reserve(
       static_cast<std::size_t>(config.workload.total_duration_s() / config.dt_s) /
           static_cast<std::size_t>(config.sample_stride) +
@@ -147,41 +223,18 @@ MissionResult run_mission(const MissionConfig& config,
   };
 
   engine.run(config.workload, floorplan_for, [&](const th::TransientEngine::StepView& view) {
-    const double step_dt = view.step.dt_s();
-    // Refresh the electrochemical model when the tanks drifted enough.
-    if (std::abs(reservoir.state_of_charge() - array_soc) > config.soc_rebuild_threshold) {
-      array_soc = reservoir.state_of_charge();
-      array = std::make_unique<fc::FlowCellArray>(electro_spec,
-                                                  reservoir.chemistry_at(array_soc), sys.fvm);
+    MissionThermalStep step;
+    step.t_end_s = view.step.t_end_s;
+    step.dt_s = view.step.dt_s();
+    step.phase = view.phase.name;
+    step.rail_power_w = rail_power_w;
+    step.peak_temperature_k = view.solution.peak_temperature_k;
+    step.mean_outlet_k = view.mean_outlet_k;
+    step.sampled = view.sampled;
+    process_step(step);
+    if (record != nullptr) {
+      record->steps.push_back(std::move(step));
     }
-
-    const BusPoint bus = solve_bus(*array, sys.vrm_spec, rail_power_w,
-                                   op.inlet_temperature_k, view.mean_outlet_k);
-    if (bus.ok) {
-      reservoir.discharge(bus.current_a, step_dt);
-      result.energy_delivered_j += bus.voltage_v * bus.current_a * step_dt;
-    } else {
-      result.supply_always_ok = false;
-    }
-
-    const double peak_c = ec::constants::kelvin_to_celsius(view.solution.peak_temperature_k);
-    result.max_peak_temperature_c = std::max(result.max_peak_temperature_c, peak_c);
-    result.final_soc = reservoir.state_of_charge();
-
-    if (!view.sampled) {
-      return;
-    }
-    MissionSample sample;
-    sample.time_s = view.step.t_end_s;
-    sample.dt_s = step_dt;
-    sample.phase = view.phase.name;
-    sample.peak_temperature_c = peak_c;
-    sample.mean_outlet_c = ec::constants::kelvin_to_celsius(view.mean_outlet_k);
-    sample.state_of_charge = reservoir.state_of_charge();
-    sample.bus_voltage_v = bus.voltage_v;
-    sample.bus_current_a = bus.current_a;
-    sample.supply_ok = bus.ok;
-    result.samples.push_back(std::move(sample));
   });
 
   result.final_state = engine.take_state();
@@ -200,7 +253,71 @@ MissionResult run_mission(const MissionConfig& config,
     result.rom_max_bound_k = rom.max_accepted_bound_k;
     result.rom_cumulative_bound_k = rom.cumulative_bound_k;
   }
+  if (record != nullptr) {
+    record->final_state = result.final_state;
+    record->electro_flow_m3_per_s = electro_flow_override;
+    record->engine_steps = result.steps;
+    record->thermal_iterations = result.thermal_iterations;
+    record->thermal_assembly_time_s = result.thermal_assembly_time_s;
+    record->thermal_setup_time_s = result.thermal_setup_time_s;
+    record->thermal_solve_time_s = result.thermal_solve_time_s;
+    record->rom_steps = result.rom_steps;
+    record->rom_fallbacks = result.rom_fallbacks;
+    record->rom_basis_size = result.rom_basis_size;
+    record->rom_build_time_s = result.rom_build_time_s;
+    record->rom_max_bound_k = result.rom_max_bound_k;
+    record->rom_cumulative_bound_k = result.rom_cumulative_bound_k;
+  }
   return result;
+}
+
+namespace {
+
+constexpr char kCheckpointMagic[] = "BSICKPT1";
+constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+}  // namespace
+
+void save_mission_checkpoint(const std::string& path, const numerics::Grid3<double>& state,
+                             double soc) {
+  ensure(state.size() > 0, "mission checkpoint needs a non-empty thermal field");
+  std::string out = make_binfile_header(kCheckpointMagic, kCheckpointFormatVersion,
+                                        /*salt=*/0);
+  std::string payload;
+  put_u32(payload, static_cast<std::uint32_t>(state.nx()));
+  put_u32(payload, static_cast<std::uint32_t>(state.ny()));
+  put_u32(payload, static_cast<std::uint32_t>(state.nz()));
+  put_f64(payload, soc);
+  for (const double value : state.data()) {
+    put_f64(payload, value);
+  }
+  put_record(out, payload);
+  write_file_bytes(path, out);
+}
+
+MissionCheckpoint load_mission_checkpoint(const std::string& path) {
+  const std::string bytes = read_file_bytes(path);
+  ByteReader reader(bytes, "mission checkpoint " + path);
+  (void)read_binfile_header(reader, kCheckpointMagic, kCheckpointFormatVersion);
+  std::string_view payload;
+  if (read_record(reader, payload) != RecordStatus::kOk) {
+    throw std::runtime_error("mission checkpoint " + path + ": truncated record");
+  }
+  ByteReader body(payload, "mission checkpoint " + path);
+  const std::uint32_t nx = body.u32();
+  const std::uint32_t ny = body.u32();
+  const std::uint32_t nz = body.u32();
+  MissionCheckpoint checkpoint;
+  checkpoint.soc = body.f64();
+  ensure(nx > 0 && ny > 0 && nz > 0 && static_cast<std::uint64_t>(nx) * ny * nz <= (1u << 28),
+         "mission checkpoint " + path + ": implausible grid dimensions");
+  checkpoint.state = numerics::Grid3<double>(static_cast<int>(nx), static_cast<int>(ny),
+                                             static_cast<int>(nz));
+  body.require(checkpoint.state.size() * sizeof(double), "thermal field");
+  for (double& value : checkpoint.state.data()) {
+    value = body.f64();
+  }
+  return checkpoint;
 }
 
 }  // namespace brightsi::core

@@ -95,6 +95,46 @@ struct MissionResult {
   double rom_cumulative_bound_k = 0.0;  ///< trajectory-accumulated bound
 };
 
+/// One step of a recorded mission thermal trajectory: everything the
+/// electrochemical side of the mission loop consumes from the thermal side.
+struct MissionThermalStep {
+  double t_end_s = 0.0;
+  double dt_s = 0.0;
+  std::string phase;
+  double rail_power_w = 0.0;        ///< cache-rail demand of this step's phase
+  double peak_temperature_k = 0.0;
+  double mean_outlet_k = 0.0;
+  bool sampled = false;             ///< this step produced a MissionSample
+};
+
+/// A mission's full thermal trajectory. The thermal side of run_mission is
+/// a pure function of the workload and the thermal/power configuration —
+/// it never reads the reservoir or the array — so a recorded trajectory
+/// replays bit-identically for any electrochemical variation (tank size,
+/// initial SOC) of the same mission. The sweep's per-worker trajectory
+/// cache (sweep/system_cache.h) exploits exactly this.
+struct MissionThermalTrajectory {
+  std::vector<MissionThermalStep> steps;
+  numerics::Grid3<double> final_state;  ///< thermal field after the last step
+  /// Bottom channel layer's flow share for the electrochemistry when
+  /// interlayer cooling splits the pump total; 0 = use the configured spec.
+  double electro_flow_m3_per_s = 0.0;
+  long long engine_steps = 0;
+
+  // Work counters of the recorded run, copied into replayed results so
+  // perf reports stay meaningful (timings are the recording run's).
+  long long thermal_iterations = 0;
+  double thermal_assembly_time_s = 0.0;
+  double thermal_setup_time_s = 0.0;
+  double thermal_solve_time_s = 0.0;
+  long long rom_steps = 0;
+  long long rom_fallbacks = 0;
+  int rom_basis_size = 0;
+  double rom_build_time_s = 0.0;
+  double rom_max_bound_k = 0.0;
+  double rom_cumulative_bound_k = 0.0;
+};
+
 /// Runs the mission. Throws only on configuration errors; supply
 /// infeasibility is reported per sample, not thrown.
 [[nodiscard]] MissionResult run_mission(const MissionConfig& config);
@@ -103,9 +143,37 @@ struct MissionResult {
 /// caches share one across scenarios; it must match config.system's stack
 /// and grid settings) and an optional thermal-field checkpoint to resume
 /// from. Either argument may be null/absent.
+///
+/// `record`, when non-null, captures the thermal trajectory of this run.
+/// `replay`, when non-null, skips the thermal solve entirely — no thermal
+/// model is built — and drives the electrochemical loop from the recorded
+/// steps instead; the caller must guarantee the trajectory was recorded
+/// under an identical workload and thermal/power configuration (only
+/// electrochemical knobs may differ). Results are bit-identical to a full
+/// run. `record` and `replay` are mutually exclusive.
 [[nodiscard]] MissionResult run_mission(
     const MissionConfig& config, std::shared_ptr<const thermal::ThermalModel> thermal_model,
-    const numerics::Grid3<double>* initial_thermal_state = nullptr);
+    const numerics::Grid3<double>* initial_thermal_state = nullptr,
+    MissionThermalTrajectory* record = nullptr,
+    const MissionThermalTrajectory* replay = nullptr);
+
+/// A saved mission ending: the thermal-field checkpoint plus the final
+/// state of charge — everything a follow-up mission needs to resume
+/// (initial_thermal_state + initial_soc).
+struct MissionCheckpoint {
+  numerics::Grid3<double> state;
+  double soc = 0.0;
+};
+
+/// Writes the checkpoint in the shared versioned binary framing
+/// (core/binfile.h, magic "BSICKPT1"): header, then one CRC-framed record
+/// of dimensions, SOC and the raw field. Throws on I/O failure.
+void save_mission_checkpoint(const std::string& path, const numerics::Grid3<double>& state,
+                             double soc);
+
+/// Reads a checkpoint back. Throws on a missing/truncated/corrupt file or
+/// a format-version mismatch — never returns garbage.
+[[nodiscard]] MissionCheckpoint load_mission_checkpoint(const std::string& path);
 
 }  // namespace brightsi::core
 

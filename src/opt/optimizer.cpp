@@ -354,7 +354,8 @@ OptResult optimize(const Study& study, const OptimizerOptions& options) {
       study,
       ResolvedObjective(study.objective, study.evaluator.metrics),
       sweep::BatchEvaluationSession(study.base, study.evaluator,
-                                    {options.thread_count, options.reuse_structures}),
+                                    {options.thread_count, options.reuse_structures},
+                                    options.backend),
       options,
       {},
       {},
@@ -394,6 +395,7 @@ OptResult optimize(const Study& study, const OptimizerOptions& options) {
                      state.objective.pareto_minimize_index());
   }
   state.result.model_builds = state.session.model_build_count();
+  state.result.archive.exec = state.session.execution_stats();
   return std::move(state.result);
 }
 

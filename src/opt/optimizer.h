@@ -14,6 +14,7 @@
 #ifndef BRIGHTSI_OPT_OPTIMIZER_H
 #define BRIGHTSI_OPT_OPTIMIZER_H
 
+#include <memory>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -62,6 +63,11 @@ struct OptimizerOptions {
   double shrink = 0.5;       ///< per-pass contraction of the axis half-range
   int max_passes = 16;       ///< refinement passes before polish
   bool nelder_mead = true;   ///< polish continuous parameters with leftover budget
+  /// Execution backend for the batch session (sweep/execution.h). Null =
+  /// the in-process local backend from thread_count/reuse_structures; a
+  /// shard backend gives the study a persistent on-disk result store, so
+  /// a re-run (or a widened budget) skips already-evaluated candidates.
+  std::shared_ptr<sweep::ExecutionBackend> backend;
 };
 
 /// The archive of one optimization run. `archive` holds every evaluated

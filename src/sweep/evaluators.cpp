@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "chip/power7.h"
 #include "core/cosim.h"
@@ -10,6 +11,7 @@
 #include "hydraulics/pump.h"
 #include "pdn/power_grid.h"
 #include "sweep/scenario.h"
+#include "sweep/scenario_hash.h"
 #include "thermal/model.h"
 
 namespace brightsi::sweep {
@@ -177,8 +179,21 @@ SweepEvaluator mission_evaluator() {
                                     ? thermal::TransientBackend::kRom
                                     : thermal::TransientBackend::kFull;
 
-    const core::MissionResult result =
-        core::run_mission(mission, worker.thermal_models.model_for(config, scenario));
+    // The mission's thermal trajectory ignores the electrochemical knobs
+    // (tank_ml, initial_soc), so scenarios that differ only in those replay
+    // one recorded trajectory (bit-identical to a full run) instead of
+    // re-running the transient solve.
+    const std::string trajectory_key = mission_trajectory_key(scenario);
+    core::MissionResult result;
+    if (const core::MissionThermalTrajectory* recorded =
+            worker.mission_trajectories.find(trajectory_key)) {
+      result = core::run_mission(mission, nullptr, nullptr, nullptr, recorded);
+    } else {
+      core::MissionThermalTrajectory trajectory;
+      result = core::run_mission(mission, worker.thermal_models.model_for(config, scenario),
+                                 nullptr, &trajectory, nullptr);
+      worker.mission_trajectories.insert(trajectory_key, std::move(trajectory));
+    }
     int supply_ok_count = 0;
     double min_bus_v = result.samples.empty() ? 0.0 : result.samples.front().bus_voltage_v;
     for (const core::MissionSample& sample : result.samples) {

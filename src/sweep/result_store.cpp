@@ -1,0 +1,343 @@
+#include "sweep/result_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+
+#include "core/binfile.h"
+
+namespace brightsi::sweep {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Shared versioned binary header (core/binfile.h) per file kind. All four
+// carry the store's scenario-hash salt, so a file can never be read
+// against the wrong scope.
+constexpr std::string_view kMetaMagic = "BSIMETA1";
+constexpr std::string_view kRecordsMagic = "BSISTOR1";
+constexpr std::string_view kJournalMagic = "BSIJRNL1";
+constexpr std::string_view kLeaseMagic = "BSILEAS1";
+
+[[noreturn]] void fail(const std::string& where, const std::string& detail) {
+  throw std::runtime_error(where + ": " + detail);
+}
+
+/// "<tag>-<pid>-<n>": unique per ResultStore instance, so two writers
+/// (processes or sequential opens) never share an append stream.
+std::string make_writer_name(const std::string& tag) {
+  static std::atomic<int> next_writer{0};
+  return tag + "-" + std::to_string(::getpid()) + "-" +
+         std::to_string(next_writer.fetch_add(1));
+}
+
+std::string row_payload(const ScenarioHash& hash, const ScenarioResult& row) {
+  std::string payload;
+  core::put_u64(payload, hash.hi);
+  core::put_u64(payload, hash.lo);
+  core::put_bytes(payload, row.name);
+  core::put_u32(payload, static_cast<std::uint32_t>(row.overrides.size()));
+  for (const auto& [param, value] : row.overrides) {
+    core::put_bytes(payload, param);
+    core::put_f64(payload, value);
+  }
+  core::put_u8(payload, row.failed ? 1 : 0);
+  core::put_bytes(payload, row.error);
+  core::put_u32(payload, static_cast<std::uint32_t>(row.metrics.size()));
+  for (const double metric : row.metrics) {
+    core::put_f64(payload, metric);
+  }
+  return payload;
+}
+
+std::pair<ScenarioHash, ScenarioResult> parse_row(std::string_view payload,
+                                                  const std::string& what) {
+  core::ByteReader in(payload, what);
+  ScenarioHash hash;
+  hash.hi = in.u64();
+  hash.lo = in.u64();
+  ScenarioResult row;
+  row.name = in.bytes();
+  const std::uint32_t override_count = in.u32();
+  row.overrides.reserve(override_count);
+  for (std::uint32_t i = 0; i < override_count; ++i) {
+    std::string param = in.bytes();
+    const double value = in.f64();
+    row.overrides.emplace_back(std::move(param), value);
+  }
+  row.failed = in.u8() != 0;
+  row.error = in.bytes();
+  const std::uint32_t metric_count = in.u32();
+  row.metrics.reserve(metric_count);
+  for (std::uint32_t i = 0; i < metric_count; ++i) {
+    row.metrics.push_back(in.f64());
+  }
+  // elapsed_s is deliberately not stored: a cache hit took no evaluator
+  // time, and the result rows exclude timing by contract anyway.
+  return {hash, std::move(row)};
+}
+
+std::vector<std::string> sorted_logs(const std::string& dir, const std::string& prefix) {
+  std::vector<std::string> paths;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) == 0 && name.size() > 4 &&
+        name.compare(name.size() - 4, 4, ".log") == 0) {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+}  // namespace
+
+ResultStore::ResultStore(std::string dir, StoreScope scope, bool create,
+                         std::string writer_tag)
+    : dir_(std::move(dir)), scope_(std::move(scope)), salt_(scope_.salt()),
+      writer_name_(make_writer_name(writer_tag)) {
+  const std::string meta_path = dir_ + "/meta.bin";
+  if (!fs::exists(meta_path)) {
+    if (!create) {
+      fail(dir_, "no result store here (missing meta.bin)");
+    }
+    fs::create_directories(dir_ + "/leases");
+    // Written to a per-process temp name first, then renamed: concurrent
+    // creators race benignly (both write identical bytes for one scope).
+    std::string meta = core::make_binfile_header(kMetaMagic, kStoreFormatVersion, salt_);
+    std::string payload;
+    core::put_bytes(payload, scope_.scope);
+    core::put_bytes(payload, scope_.evaluator);
+    core::put_u32(payload, static_cast<std::uint32_t>(scope_.metrics.size()));
+    for (const std::string& metric : scope_.metrics) {
+      core::put_bytes(payload, metric);
+    }
+    core::put_record(meta, payload);
+    const std::string tmp_path = meta_path + "." + writer_name_ + ".tmp";
+    core::write_file_bytes(tmp_path, meta);
+    std::error_code ec;
+    fs::rename(tmp_path, meta_path, ec);
+    if (ec) {
+      fs::remove(tmp_path, ec);
+      fail(meta_path, "cannot create store metadata: " + ec.message());
+    }
+    return;
+  }
+
+  // Validate the existing store against our scope before touching rows.
+  fs::create_directories(dir_ + "/leases");
+  const std::string meta = core::read_file_bytes(meta_path);
+  core::ByteReader in(meta, meta_path);
+  const core::BinfileHeader header =
+      core::read_binfile_header(in, kMetaMagic, kStoreFormatVersion);
+  std::string_view payload;
+  if (core::read_record(in, payload) != core::RecordStatus::kOk) {
+    fail(meta_path, "truncated store metadata");
+  }
+  core::ByteReader meta_in(payload, meta_path);
+  const std::string found_scope = meta_in.bytes();
+  const std::string found_evaluator = meta_in.bytes();
+  std::vector<std::string> found_metrics(meta_in.u32());
+  for (std::string& metric : found_metrics) {
+    metric = meta_in.bytes();
+  }
+  if (found_scope != scope_.scope || found_evaluator != scope_.evaluator ||
+      found_metrics != scope_.metrics || header.salt != salt_) {
+    fail(dir_, "result store belongs to plan '" + found_scope + "' / evaluator '" +
+                   found_evaluator + "' (" + std::to_string(found_metrics.size()) +
+                   " metrics), not to plan '" + scope_.scope + "' / evaluator '" +
+                   scope_.evaluator + "' (" + std::to_string(scope_.metrics.size()) +
+                   " metrics) — refusing to mix results");
+  }
+}
+
+std::size_t ResultStore::reload() {
+  const std::vector<std::string> logs = sorted_logs(dir_, "records-");
+  std::lock_guard<std::mutex> lock(mutex_);
+  index_.clear();
+  for (const std::string& path : logs) {
+    load_log(path);
+  }
+  return index_.size();
+}
+
+void ResultStore::load_log(const std::string& path) {
+  const std::string bytes = core::read_file_bytes(path);
+  core::ByteReader in(bytes, path);
+  core::read_binfile_header(in, kRecordsMagic, kStoreFormatVersion);
+  while (in.remaining() > 0) {
+    std::string_view payload;
+    if (core::read_record(in, payload) == core::RecordStatus::kTruncated) {
+      // Torn tail: the writer died mid-append. Every earlier record is
+      // intact (crc-verified), so the row simply counts as not stored.
+      break;
+    }
+    auto [hash, row] = parse_row(payload, path);
+    // Duplicate hashes across logs are byte-identical by determinism;
+    // last-in wins arbitrarily and harmlessly.
+    index_[hash] = std::move(row);
+  }
+}
+
+const ScenarioResult* ResultStore::find(const ScenarioHash& hash) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(hash);
+  return it != index_.end() ? &it->second : nullptr;
+}
+
+std::size_t ResultStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.size();
+}
+
+std::ofstream& ResultStore::records_stream_locked() {
+  if (!records_.is_open()) {
+    const std::string path = dir_ + "/records-" + writer_name_ + ".log";
+    records_.open(path, std::ios::binary | std::ios::app);
+    if (!records_) {
+      fail(path, "cannot open record log for append");
+    }
+    records_ << core::make_binfile_header(kRecordsMagic, kStoreFormatVersion, salt_);
+  }
+  return records_;
+}
+
+void ResultStore::append(const ScenarioHash& hash, const ScenarioResult& row) {
+  std::string framed;
+  core::put_record(framed, row_payload(hash, row));
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ofstream& out = records_stream_locked();
+  out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
+  out.flush();  // the durable per-row checkpoint
+  if (!out) {
+    fail(dir_, "write error appending to the record log");
+  }
+  ScenarioResult stored = row;
+  stored.elapsed_s = 0.0;
+  index_[hash] = std::move(stored);
+  ++appended_;
+}
+
+long long ResultStore::appended_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return appended_;
+}
+
+std::string ResultStore::lease_path(const ScenarioHash& hash) const {
+  return dir_ + "/leases/" + hash.hex() + ".lease";
+}
+
+bool ResultStore::try_claim(const ScenarioHash& hash, double timeout_s,
+                            bool create_if_absent, bool* stolen) {
+  if (stolen != nullptr) {
+    *stolen = false;
+  }
+  const std::string path = lease_path(hash);
+  auto create_exclusive = [&]() -> bool {
+    // O_EXCL makes creation the atomic claim, across processes and hosts
+    // on a shared filesystem.
+    const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0) {
+      return false;
+    }
+    const std::string header =
+        core::make_binfile_header(kLeaseMagic, kStoreFormatVersion, salt_) + writer_name_;
+    // A short write only weakens the debug value of the lease body; the
+    // claim is the file's existence.
+    (void)!::write(fd, header.data(), header.size());
+    ::close(fd);
+    return true;
+  };
+
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    return create_if_absent ? create_exclusive() : false;
+  }
+  const fs::file_time_type mtime = fs::last_write_time(path, ec);
+  if (ec) {
+    // Raced with a release; treat as absent.
+    return create_if_absent ? create_exclusive() : false;
+  }
+  const auto age = fs::file_time_type::clock::now() - mtime;
+  if (std::chrono::duration<double>(age).count() <= timeout_s) {
+    return false;  // freshly held by a live writer
+  }
+  // Orphaned: the holder outlived its timeout without storing the row.
+  fs::remove(path, ec);
+  if (create_exclusive()) {
+    if (stolen != nullptr) {
+      *stolen = true;
+    }
+    return true;
+  }
+  return false;  // another stealer won the race
+}
+
+void ResultStore::release(const ScenarioHash& hash) {
+  std::error_code ec;
+  fs::remove(lease_path(hash), ec);
+}
+
+void ResultStore::journal(std::string_view event, std::string_view detail) {
+  std::string payload;
+  core::put_bytes(payload, event);
+  core::put_bytes(payload, detail);
+  std::string framed;
+  core::put_record(framed, payload);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!journal_.is_open()) {
+    const std::string path = dir_ + "/journal-" + writer_name_ + ".log";
+    journal_.open(path, std::ios::binary | std::ios::app);
+    if (!journal_) {
+      fail(path, "cannot open journal for append");
+    }
+    journal_ << core::make_binfile_header(kJournalMagic, kStoreFormatVersion, salt_);
+  }
+  journal_.write(framed.data(), static_cast<std::streamsize>(framed.size()));
+  journal_.flush();
+}
+
+std::vector<JournalEvent> read_journal_file(const std::string& path,
+                                            std::uint64_t expected_salt) {
+  const std::string bytes = core::read_file_bytes(path);
+  core::ByteReader in(bytes, path);
+  const core::BinfileHeader header =
+      core::read_binfile_header(in, kJournalMagic, kStoreFormatVersion);
+  if (header.salt != expected_salt) {
+    fail(path, "journal belongs to a different store scope (salt mismatch)");
+  }
+  std::vector<JournalEvent> events;
+  while (in.remaining() > 0) {
+    std::string_view payload;
+    if (core::read_record(in, payload) == core::RecordStatus::kTruncated) {
+      break;
+    }
+    core::ByteReader event_in(payload, path);
+    JournalEvent event;
+    event.event = event_in.bytes();
+    event.detail = event_in.bytes();
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+std::vector<std::pair<std::string, std::vector<JournalEvent>>> read_store_journals(
+    const std::string& store_dir, std::uint64_t expected_salt) {
+  std::vector<std::pair<std::string, std::vector<JournalEvent>>> journals;
+  for (const std::string& path : sorted_logs(store_dir, "journal-")) {
+    journals.emplace_back(path, read_journal_file(path, expected_salt));
+  }
+  return journals;
+}
+
+}  // namespace brightsi::sweep

@@ -1,0 +1,142 @@
+// Persistent, content-addressed result store: the per-worker
+// ThermalModelCache generalized one level up, to a cross-run, cross-process
+// cache of evaluated sweep rows keyed by scenario hash.
+//
+// On-disk layout of a store directory:
+//   meta.bin                      scope the store is keyed to (plan name,
+//                                 evaluator, metric columns) + the salt
+//   records-<tag>-<pid>-<n>.log   append-only evaluated rows, one framed
+//                                 record per row (core/binfile.h), one
+//                                 file per writer so concurrent processes
+//                                 never interleave bytes
+//   journal-<tag>-<pid>-<n>.log   append-only run events (begin/end,
+//                                 lease steals) — an audit trail, never
+//                                 an input to result bytes
+//   leases/<hash>.lease           advisory claim of an in-flight row
+//
+// Concurrency model: evaluation is deterministic, so duplicated work is
+// harmless — two processes that race on a row append byte-identical
+// records and the loader dedups by hash. Leases are therefore purely an
+// optimization (avoid re-evaluating in-flight rows) and a liveness
+// mechanism (an orphaned lease older than the timeout is stolen), never a
+// correctness requirement. Each append is flushed before the lease is
+// released: the store itself is the per-row completion checkpoint that
+// makes kill-and-resume work.
+#ifndef BRIGHTSI_SWEEP_RESULT_STORE_H
+#define BRIGHTSI_SWEEP_RESULT_STORE_H
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sweep/runner.h"
+#include "sweep/scenario_hash.h"
+
+namespace brightsi::sweep {
+
+/// The identity a store is scoped to. Opening a store with a different
+/// scope than it was created with throws — a cache hit across plans,
+/// evaluators or metric layouts would be silent corruption.
+struct StoreScope {
+  std::string scope;      ///< plan or study name
+  std::string evaluator;  ///< evaluator name
+  std::vector<std::string> metrics;
+
+  [[nodiscard]] std::uint64_t salt() const {
+    return store_salt(scope, evaluator, metrics);
+  }
+};
+
+/// One event of a journal file, surfaced for tests and `brightsi_merge
+/// --check`.
+struct JournalEvent {
+  std::string event;
+  std::string detail;
+};
+
+class ResultStore {
+ public:
+  /// Opens the store directory, creating directory + meta.bin when
+  /// `create` allows it. Validates an existing meta.bin against `scope`
+  /// and throws std::runtime_error (naming the store path) on a missing
+  /// store (create == false), a scope mismatch, or a corrupt/incompatible
+  /// meta file. `writer_tag` distinguishes this writer's log files.
+  ResultStore(std::string dir, StoreScope scope, bool create = true,
+              std::string writer_tag = "w");
+
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] const StoreScope& scope() const { return scope_; }
+  [[nodiscard]] std::uint64_t salt() const { return salt_; }
+
+  /// Re-scans every record log in the directory into the in-memory index
+  /// (picking up rows appended by other processes). One torn record at
+  /// the tail of a log is dropped silently — that is the kill signature —
+  /// while corruption anywhere else throws with the offending file named.
+  /// Returns the number of distinct rows indexed.
+  std::size_t reload();
+
+  /// The stored row for `hash`, or nullptr. Thread-safe against append().
+  [[nodiscard]] const ScenarioResult* find(const ScenarioHash& hash) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Appends one evaluated row to this writer's record log and flushes it
+  /// — the durable per-row checkpoint — then indexes it. Thread-safe.
+  void append(const ScenarioHash& hash, const ScenarioResult& row);
+
+  /// Rows appended through this instance (not counting loaded ones).
+  [[nodiscard]] long long appended_count() const;
+
+  // ------------------------------------------------------------- leases
+  /// Claims `hash` for evaluation. Returns true when the lease file was
+  /// created (fresh, or after stealing one older than `timeout_s`; sets
+  /// *stolen in the latter case). With `create_if_absent` false only an
+  /// expired lease is taken over — the probe the shard backend uses on
+  /// rows owned by *other* shards, so it helps crashed peers without
+  /// hijacking work they simply have not started. Thread-safe.
+  bool try_claim(const ScenarioHash& hash, double timeout_s, bool create_if_absent,
+                 bool* stolen = nullptr);
+
+  /// Releases a claim made by try_claim (idempotent).
+  void release(const ScenarioHash& hash);
+
+  // ------------------------------------------------------------ journal
+  /// Appends one (event, detail) record to this writer's journal log.
+  void journal(std::string_view event, std::string_view detail);
+
+ private:
+  void load_log(const std::string& path);
+  std::ofstream& records_stream_locked();
+  [[nodiscard]] std::string lease_path(const ScenarioHash& hash) const;
+
+  std::string dir_;
+  StoreScope scope_;
+  std::uint64_t salt_ = 0;
+  std::string writer_name_;  ///< "<tag>-<pid>-<n>", shared by both logs
+
+  mutable std::mutex mutex_;
+  std::unordered_map<ScenarioHash, ScenarioResult, ScenarioHashHasher> index_;
+  std::ofstream records_;
+  std::ofstream journal_;
+  long long appended_ = 0;
+};
+
+/// Reads every event of one journal file (header-validated, crc-checked;
+/// a torn tail record is dropped, other damage throws).
+[[nodiscard]] std::vector<JournalEvent> read_journal_file(const std::string& path,
+                                                          std::uint64_t expected_salt);
+
+/// All journal events across a store directory, grouped per file in
+/// filename order.
+[[nodiscard]] std::vector<std::pair<std::string, std::vector<JournalEvent>>>
+read_store_journals(const std::string& store_dir, std::uint64_t expected_salt);
+
+}  // namespace brightsi::sweep
+
+#endif  // BRIGHTSI_SWEEP_RESULT_STORE_H

@@ -1,19 +1,15 @@
 #include "sweep/runner.h"
 
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <stdexcept>
 #include <thread>
 
 #include "core/report.h"
+#include "sweep/execution.h"
 
 namespace brightsi::sweep {
 
-namespace {
-
-/// Ordered union of override names across scenarios (first appearance
-/// wins) — the override column set of the result table.
 std::vector<std::string> collect_override_names(const SweepPlan& plan) {
   std::vector<std::string> names;
   for (const ScenarioSpec& scenario : plan.scenarios) {
@@ -33,61 +29,6 @@ std::vector<std::string> collect_override_names(const SweepPlan& plan) {
   }
   return names;
 }
-
-/// Shared worker loop of SweepRunner::run and BatchEvaluationSession:
-/// evaluates `scenarios` against `base`, writing rows in scenario order.
-/// Spawns one thread per entry of `workers` (capped by the scenario
-/// count); thread t carries workers[t], so a persistent `workers` vector
-/// keeps its structure caches across calls.
-void evaluate_scenarios(const core::SystemConfig& base, const SweepEvaluator& evaluator,
-                        const std::vector<ScenarioSpec>& scenarios,
-                        std::vector<ScenarioResult>& rows, std::vector<WorkerState>& workers) {
-  rows.resize(scenarios.size());
-  std::atomic<std::size_t> next{0};
-  auto worker = [&](WorkerState& state) {
-    while (true) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= scenarios.size()) {
-        return;
-      }
-      const ScenarioSpec& scenario = scenarios[i];
-      ScenarioResult& row = rows[i];
-      row.name = scenario.name;
-      row.overrides = scenario.overrides;
-      const auto start = std::chrono::steady_clock::now();
-      try {
-        const core::SystemConfig config = apply_scenario(base, scenario);
-        config.validate();
-        row.metrics = evaluator.fn(config, scenario, state);
-        if (row.metrics.size() != evaluator.metrics.size()) {
-          throw std::logic_error("evaluator '" + evaluator.name +
-                                 "' returned a mismatched metric count");
-        }
-      } catch (const std::exception& e) {
-        row.failed = true;
-        row.error = e.what();
-        row.metrics.assign(evaluator.metrics.size(), 0.0);
-      }
-      row.elapsed_s = std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - start).count();
-    }
-  };
-
-  const std::size_t thread_count = std::min(workers.size(), scenarios.size());
-  std::vector<std::thread> pool;
-  pool.reserve(thread_count > 0 ? thread_count - 1 : 0);
-  for (std::size_t t = 1; t < thread_count; ++t) {
-    pool.emplace_back(worker, std::ref(workers[t]));
-  }
-  if (!workers.empty()) {
-    worker(workers[0]);  // this thread participates
-  }
-  for (std::thread& t : pool) {
-    t.join();
-  }
-}
-
-}  // namespace
 
 std::string format_sweep_value(double value) { return core::format_shortest(value); }
 
@@ -145,7 +86,16 @@ int resolve_thread_count(const SweepOptions& options) {
 
 SweepRunner::SweepRunner(SweepOptions options) : options_(options) {}
 
-int SweepRunner::resolved_thread_count() const { return resolve_thread_count(options_); }
+SweepRunner::SweepRunner(std::shared_ptr<ExecutionBackend> backend)
+    : backend_(std::move(backend)) {
+  if (backend_ == nullptr) {
+    throw std::invalid_argument("sweep runner needs a non-null execution backend");
+  }
+}
+
+int SweepRunner::resolved_thread_count() const {
+  return backend_ != nullptr ? backend_->thread_count() : resolve_thread_count(options_);
+}
 
 SweepResult SweepRunner::run(const SweepPlan& plan) const {
   if (!plan.evaluator.fn) {
@@ -156,41 +106,53 @@ SweepResult SweepRunner::run(const SweepPlan& plan) const {
   result.evaluator_name = plan.evaluator.name;
   result.metric_names = plan.evaluator.metrics;
   result.override_names = collect_override_names(plan);
-  result.thread_count = resolved_thread_count();
+
+  // An injected backend persists across run() calls; the default local
+  // backend is rebuilt per run (fresh caches, the historical behaviour).
+  std::shared_ptr<ExecutionBackend> backend = backend_;
+  if (backend == nullptr) {
+    backend = make_local_backend(options_);
+  }
+  result.thread_count = backend->thread_count();
+  result.backend = backend->name();
 
   const auto sweep_start = std::chrono::steady_clock::now();
-  std::vector<WorkerState> workers(static_cast<std::size_t>(result.thread_count),
-                                   WorkerState(options_.reuse_structures));
-  evaluate_scenarios(plan.base, plan.evaluator, plan.scenarios, result.rows, workers);
+  backend->execute(plan.base, plan.evaluator, plan.scenarios, result.rows);
   result.wall_time_s = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - sweep_start).count();
+  result.exec = backend->stats();
   return result;
 }
 
 BatchEvaluationSession::BatchEvaluationSession(core::SystemConfig base,
-                                               SweepEvaluator evaluator, SweepOptions options)
-    : base_(std::move(base)), evaluator_(std::move(evaluator)) {
+                                               SweepEvaluator evaluator, SweepOptions options,
+                                               std::shared_ptr<ExecutionBackend> backend)
+    : base_(std::move(base)), evaluator_(std::move(evaluator)),
+      backend_(std::move(backend)) {
   if (!evaluator_.fn) {
     throw std::invalid_argument("batch evaluation session has no evaluator");
   }
-  workers_.assign(static_cast<std::size_t>(resolve_thread_count(options)),
-                  WorkerState(options.reuse_structures));
+  if (backend_ == nullptr) {
+    backend_ = make_local_backend(options);
+  }
 }
 
 std::vector<ScenarioResult> BatchEvaluationSession::evaluate(
     const std::vector<ScenarioSpec>& candidates) {
   std::vector<ScenarioResult> rows;
-  evaluate_scenarios(base_, evaluator_, candidates, rows, workers_);
+  backend_->execute(base_, evaluator_, candidates, rows);
   evaluations_ += static_cast<long long>(candidates.size());
   return rows;
 }
 
+int BatchEvaluationSession::thread_count() const { return backend_->thread_count(); }
+
 int BatchEvaluationSession::model_build_count() const {
-  int builds = 0;
-  for (const WorkerState& worker : workers_) {
-    builds += worker.thermal_models.build_count();
-  }
-  return builds;
+  return backend_->model_build_count();
+}
+
+ExecutionStats BatchEvaluationSession::execution_stats() const {
+  return backend_->stats();
 }
 
 void write_sweep_csv(std::ostream& os, const SweepResult& result) {

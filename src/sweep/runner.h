@@ -1,18 +1,21 @@
-// Executes every scenario of a SweepPlan across a worker pool. Scenarios
-// are independent (each builds its own system from the resolved config), so
-// the result values are identical for any thread count; results are stored
-// in plan order regardless of completion order. Per-scenario wall time is
-// recorded separately from the result rows so CSV output stays
-// byte-identical across thread counts.
+// Executes every scenario of a SweepPlan through an execution backend
+// (sweep/execution.h). Scenarios are independent (each builds its own
+// system from the resolved config), so the result values are identical
+// for any thread count — and, through the shard backend's result store,
+// for any shard count — with results stored in plan order regardless of
+// completion order. Per-scenario wall time is recorded separately from
+// the result rows so CSV output stays byte-identical across runs.
 //
 // Each worker carries a WorkerState (sweep/system_cache.h) across its
 // scenarios: consecutive scenarios that differ only in operating-point
-// parameters reuse the assembled thermal model. Reuse never changes result
-// bytes — sweep_test cross-checks cached vs uncached rows at 1 and N
-// threads.
+// parameters reuse the assembled thermal model, and mission scenarios
+// that differ only in electrochemical knobs replay one recorded thermal
+// trajectory. Reuse never changes result bytes — sweep_test cross-checks
+// cached vs uncached rows at 1 and N threads.
 #ifndef BRIGHTSI_SWEEP_RUNNER_H
 #define BRIGHTSI_SWEEP_RUNNER_H
 
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -21,6 +24,8 @@
 #include "sweep/system_cache.h"
 
 namespace brightsi::sweep {
+
+class ExecutionBackend;  // sweep/execution.h
 
 struct ScenarioResult {
   std::string name;
@@ -31,6 +36,17 @@ struct ScenarioResult {
   double elapsed_s = 0.0;     ///< timing only; excluded from result rows
 };
 
+/// Work accounting of one execution backend, accumulated across calls.
+struct ExecutionStats {
+  long long scheduled = 0;      ///< rows handed to the backend
+  long long evaluated = 0;      ///< fresh evaluator invocations
+  long long store_hits = 0;     ///< rows filled from the result store
+  long long leases_stolen = 0;  ///< orphaned leases reclaimed
+  long long pending = 0;        ///< rows left for other shards / cut by row limit
+  int model_builds = 0;         ///< thermal structure builds across workers
+  int trajectory_hits = 0;      ///< mission trajectory-cache replays
+};
+
 struct SweepResult {
   std::string plan_name;
   std::string evaluator_name;
@@ -39,6 +55,8 @@ struct SweepResult {
   std::vector<ScenarioResult> rows;         ///< in plan order
   int thread_count = 1;
   double wall_time_s = 0.0;
+  std::string backend = "local";  ///< executing backend ("local", "shard", "merge")
+  ExecutionStats exec;            ///< backend work accounting (timing-like; not emitted)
 
   [[nodiscard]] int failure_count() const;
   [[nodiscard]] double scenarios_per_second() const;
@@ -47,9 +65,9 @@ struct SweepResult {
 struct SweepOptions {
   /// Worker threads; 0 = hardware concurrency.
   int thread_count = 0;
-  /// Per-worker reuse of assembled model structure across scenarios.
-  /// Result rows are byte-identical either way; disable to cross-check
-  /// that invariant or to bound per-worker memory.
+  /// Per-worker reuse of assembled model structure (and recorded mission
+  /// trajectories) across scenarios. Result rows are byte-identical either
+  /// way; disable to cross-check that invariant or to bound memory.
   bool reuse_structures = true;
 };
 
@@ -57,9 +75,19 @@ struct SweepOptions {
 /// (never less than 1). Shared by SweepRunner and BatchEvaluationSession.
 [[nodiscard]] int resolve_thread_count(const SweepOptions& options);
 
+/// Ordered union of override names across the plan's scenarios (first
+/// appearance wins) — the override column set of the result table.
+[[nodiscard]] std::vector<std::string> collect_override_names(const SweepPlan& plan);
+
 class SweepRunner {
  public:
+  /// In-process execution (the local backend), one fresh worker pool per
+  /// run() call.
   explicit SweepRunner(SweepOptions options = {});
+
+  /// Execution through an injected backend (e.g. make_shard_backend);
+  /// worker state persists in the backend across run() calls.
+  explicit SweepRunner(std::shared_ptr<ExecutionBackend> backend);
 
   /// Runs every scenario of the plan. Per-scenario exceptions become failed
   /// rows (error message captured) rather than aborting the sweep.
@@ -69,19 +97,23 @@ class SweepRunner {
 
  private:
   SweepOptions options_;
+  std::shared_ptr<ExecutionBackend> backend_;  ///< null = fresh local per run
 };
 
 /// Persistent batched-evaluation session: the optimizer-facing entry point
 /// of the sweep engine. Where SweepRunner::run expands a full plan,
-/// evaluate() takes an explicit candidate list — and the per-worker states
-/// (thermal-model structure cache) survive across calls, so successive
-/// optimizer generations reuse assembled operators exactly like
-/// consecutive scenarios of one sweep do. Results are in candidate order
-/// and byte-identical for any thread count.
+/// evaluate() takes an explicit candidate list — and the backend's
+/// per-worker states (thermal-model structure cache) survive across
+/// calls, so successive optimizer generations reuse assembled operators
+/// exactly like consecutive scenarios of one sweep do. Results are in
+/// candidate order and byte-identical for any thread count.
 class BatchEvaluationSession {
  public:
+  /// `backend` null selects the local backend built from `options`; a
+  /// shard backend gives the session a persistent cross-run result store.
   BatchEvaluationSession(core::SystemConfig base, SweepEvaluator evaluator,
-                         SweepOptions options = {});
+                         SweepOptions options = {},
+                         std::shared_ptr<ExecutionBackend> backend = nullptr);
 
   /// Evaluates every candidate against the session's base config. Rows
   /// come back in candidate order; per-candidate exceptions become failed
@@ -91,17 +123,20 @@ class BatchEvaluationSession {
 
   [[nodiscard]] const core::SystemConfig& base() const { return base_; }
   [[nodiscard]] const SweepEvaluator& evaluator() const { return evaluator_; }
-  [[nodiscard]] int thread_count() const { return static_cast<int>(workers_.size()); }
-  /// Evaluator invocations so far (all evaluate() calls).
+  [[nodiscard]] int thread_count() const;
+  /// Evaluator invocations so far (all evaluate() calls; store hits count
+  /// — they answered an invocation).
   [[nodiscard]] long long evaluation_count() const { return evaluations_; }
   /// Thermal-model structure builds across all workers; the gap to
   /// evaluation_count() is the session's cache-hit count.
   [[nodiscard]] int model_build_count() const;
+  /// Backend work accounting (store hits vs fresh evaluations).
+  [[nodiscard]] ExecutionStats execution_stats() const;
 
  private:
   core::SystemConfig base_;
   SweepEvaluator evaluator_;
-  std::vector<WorkerState> workers_;
+  std::shared_ptr<ExecutionBackend> backend_;
   long long evaluations_ = 0;
 };
 

@@ -217,9 +217,15 @@ const std::vector<ParameterInfo>& parameter_registry() {
       // Evaluator-consumed mission parameters: a MissionConfig wraps the
       // SystemConfig, so its knobs have no SystemConfig field either;
       // mission_evaluator() reads them off the scenario directly.
-      {"tank_ml", "electrolyte tank volume per side (mL; mission evaluator)", nullptr},
+      // tank_ml / initial_soc feed the reservoir and bus side only — the
+      // thermal trajectory is bitwise unaffected (run_mission's stepping
+      // reads neither), so they are flagged mission_thermal_invariant and
+      // scenarios differing only here share one recorded trajectory.
+      {"tank_ml", "electrolyte tank volume per side (mL; mission evaluator)", nullptr,
+       /*thermal_structural=*/false, nullptr, /*mission_thermal_invariant=*/true},
       {"mission_dt_s", "nominal mission transient step (s; mission evaluator)", nullptr},
-      {"initial_soc", "mission starting state of charge (mission evaluator)", nullptr},
+      {"initial_soc", "mission starting state of charge (mission evaluator)", nullptr,
+       /*thermal_structural=*/false, nullptr, /*mission_thermal_invariant=*/true},
       {"workload_kind",
        "mission workload trace: 0=full-load, 1=idle/burst/sustain, 2=memory-bound "
        "(mission evaluator)",

@@ -47,6 +47,13 @@ struct ParameterInfo {
   /// scenario and takes precedence over `apply`.
   std::function<void(core::SystemConfig&, double, const ScenarioSpec&)> apply_with_scenario =
       nullptr;
+  /// True when the parameter provably cannot change the mission's thermal
+  /// trajectory (it feeds the electrochemical/bus side only: tank sizing,
+  /// starting SOC). The per-worker mission trajectory cache
+  /// (sweep/system_cache.h) keys on every override *except* these, so
+  /// scenarios differing only here replay one recorded trajectory instead
+  /// of re-stepping the transient engine. Default false = conservative.
+  bool mission_thermal_invariant = false;
 };
 
 /// All legal scenario parameters, in presentation order.

@@ -1,0 +1,98 @@
+#include "sweep/scenario_hash.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/binfile.h"
+
+namespace brightsi::sweep {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x00000100000001B3ULL;
+
+std::uint64_t fnv1a(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t hash = seed;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// Overrides sorted by parameter name (stable, so a pathological duplicate
+/// keeps its relative order), serialized name-then-raw-bits.
+void put_sorted_overrides(std::string& out,
+                          const std::vector<std::pair<std::string, double>>& overrides) {
+  std::vector<const std::pair<std::string, double>*> sorted;
+  sorted.reserve(overrides.size());
+  for (const auto& entry : overrides) {
+    sorted.push_back(&entry);
+  }
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto* a, const auto* b) { return a->first < b->first; });
+  core::put_u32(out, static_cast<std::uint32_t>(sorted.size()));
+  for (const auto* entry : sorted) {
+    core::put_bytes(out, entry->first);
+    core::put_f64(out, entry->second);
+  }
+}
+
+}  // namespace
+
+std::string ScenarioHash::hex() const {
+  char buffer[33];
+  std::snprintf(buffer, sizeof(buffer), "%016llx%016llx",
+                static_cast<unsigned long long>(hi), static_cast<unsigned long long>(lo));
+  return buffer;
+}
+
+std::string canonical_scenario_bytes(const ScenarioSpec& scenario, bool include_name) {
+  std::string bytes;
+  core::put_u8(bytes, include_name ? 1 : 0);
+  if (include_name) {
+    core::put_bytes(bytes, scenario.name);
+  }
+  put_sorted_overrides(bytes, scenario.overrides);
+  return bytes;
+}
+
+ScenarioHash hash_bytes(std::string_view bytes, std::uint64_t salt) {
+  ScenarioHash hash;
+  hash.lo = fnv1a(bytes, kFnvOffset ^ salt);
+  hash.hi = fnv1a(bytes, (kFnvOffset + 0x9E3779B97F4A7C15ULL) ^ hash.lo);
+  return hash;
+}
+
+ScenarioHash hash_scenario(const ScenarioSpec& scenario, std::uint64_t salt) {
+  return hash_bytes(canonical_scenario_bytes(scenario, /*include_name=*/true), salt);
+}
+
+std::uint64_t store_salt(const std::string& plan_name, const std::string& evaluator_name,
+                         const std::vector<std::string>& metric_names) {
+  std::string signature;
+  core::put_u32(signature, kStoreFormatVersion);
+  core::put_bytes(signature, plan_name);
+  core::put_bytes(signature, evaluator_name);
+  core::put_u32(signature, static_cast<std::uint32_t>(metric_names.size()));
+  for (const std::string& metric : metric_names) {
+    core::put_bytes(signature, metric);
+  }
+  return fnv1a(signature, kFnvOffset);
+}
+
+std::string mission_trajectory_key(const ScenarioSpec& scenario) {
+  ScenarioSpec thermal_only;
+  for (const auto& override_entry : scenario.overrides) {
+    const ParameterInfo* info = find_parameter(override_entry.first);
+    // Unregistered names cannot reach an evaluator (apply_scenario throws
+    // first); keep them in the key anyway so the cache stays conservative.
+    if (info == nullptr || !info->mission_thermal_invariant) {
+      thermal_only.overrides.push_back(override_entry);
+    }
+  }
+  return canonical_scenario_bytes(thermal_only, /*include_name=*/false);
+}
+
+}  // namespace brightsi::sweep

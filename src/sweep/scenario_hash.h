@@ -1,0 +1,88 @@
+// Canonical byte-stable serialization + content hashing of ScenarioSpecs:
+// the identity layer of the on-disk result store and the shard assignment.
+//
+// Canonicalization rules (docs/ARCHITECTURE.md, "Execution backends &
+// result store"):
+//   * overrides are sorted by parameter name — apply order is documented
+//     order-immune, so two scenarios that set the same (param, value)
+//     pairs in different orders are the same evaluation;
+//   * values travel as raw little-endian IEEE-754 bit patterns, never as
+//     formatted text — the hash distinguishes exactly the doubles the
+//     evaluator would see;
+//   * strings are u32-length-prefixed (no separator ambiguity);
+//   * the scenario name participates in the store key (a row is one named
+//     plan entry), and the store salt folds in the plan name, evaluator
+//     name, metric columns and format version, so a store can never serve
+//     rows to the wrong plan or an incompatible build.
+#ifndef BRIGHTSI_SWEEP_SCENARIO_HASH_H
+#define BRIGHTSI_SWEEP_SCENARIO_HASH_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sweep/evaluators.h"
+#include "sweep/scenario.h"
+
+namespace brightsi::sweep {
+
+/// Format version of the canonical serialization + store record layout.
+/// Bump on any change to either; the salt folds it in, so an old store is
+/// cleanly rejected instead of silently misread.
+inline constexpr std::uint32_t kStoreFormatVersion = 1;
+
+/// 128-bit content hash (two salted FNV-1a-64 passes, the second chained
+/// on the first). Not cryptographic — collision odds across a sweep's
+/// scenario count are negligible, and the store cross-checks the scenario
+/// name on every hit.
+struct ScenarioHash {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const ScenarioHash&, const ScenarioHash&) = default;
+  friend auto operator<=>(const ScenarioHash&, const ScenarioHash&) = default;
+
+  /// 32 lowercase hex chars (hi then lo) — lease/journal file naming.
+  [[nodiscard]] std::string hex() const;
+
+  /// The shard that owns this scenario: lo mod shard_count.
+  [[nodiscard]] int shard_of(int shard_count) const {
+    return static_cast<int>(lo % static_cast<std::uint64_t>(shard_count));
+  }
+};
+
+struct ScenarioHashHasher {
+  [[nodiscard]] std::size_t operator()(const ScenarioHash& hash) const {
+    return static_cast<std::size_t>(hash.lo ^ (hash.hi * 0x9E3779B97F4A7C15ULL));
+  }
+};
+
+/// Canonical bytes of the scenario under the rules above. With
+/// `include_name` false only the sorted overrides are serialized (the
+/// form the mission trajectory key builds on).
+[[nodiscard]] std::string canonical_scenario_bytes(const ScenarioSpec& scenario,
+                                                   bool include_name = true);
+
+/// Salted 128-bit FNV-1a over arbitrary bytes.
+[[nodiscard]] ScenarioHash hash_bytes(std::string_view bytes, std::uint64_t salt);
+
+/// hash_bytes over canonical_scenario_bytes(scenario, true).
+[[nodiscard]] ScenarioHash hash_scenario(const ScenarioSpec& scenario, std::uint64_t salt);
+
+/// The store salt for a (plan, evaluator) scope: folds the plan name, the
+/// evaluator name, every metric column and kStoreFormatVersion. Two runs
+/// agree on row hashes iff they agree on this salt.
+[[nodiscard]] std::uint64_t store_salt(const std::string& plan_name,
+                                       const std::string& evaluator_name,
+                                       const std::vector<std::string>& metric_names);
+
+/// Key of the per-worker mission thermal-trajectory cache: the canonical
+/// bytes of every override that is not flagged mission_thermal_invariant
+/// in the parameter registry (tank sizing and starting SOC shift the
+/// electrochemical side only — the thermal trajectory is bitwise
+/// unaffected, so scenarios differing only there share one recording).
+[[nodiscard]] std::string mission_trajectory_key(const ScenarioSpec& scenario);
+
+}  // namespace brightsi::sweep
+
+#endif  // BRIGHTSI_SWEEP_SCENARIO_HASH_H

@@ -1,6 +1,7 @@
 #include "sweep/system_cache.h"
 
 #include <cstdio>
+#include <utility>
 
 #include "chip/power7.h"
 #include "numerics/contracts.h"
@@ -48,6 +49,26 @@ std::shared_ptr<const thermal::ThermalModel> ThermalModelCache::model_for(
   ensure(model_->stack() == config.stack && model_->settings() == config.thermal_grid,
          "thermal model cache: fingerprint missed a structural parameter");
   return model_;
+}
+
+const core::MissionThermalTrajectory* MissionTrajectoryCache::find(const std::string& key) {
+  if (!enabled_) {
+    return nullptr;
+  }
+  const auto it = trajectories_.find(key);
+  if (it == trajectories_.end()) {
+    return nullptr;
+  }
+  ++hit_count_;
+  return &it->second;
+}
+
+void MissionTrajectoryCache::insert(const std::string& key,
+                                    core::MissionThermalTrajectory trajectory) {
+  if (!enabled_) {
+    return;
+  }
+  trajectories_.insert_or_assign(key, std::move(trajectory));
 }
 
 }  // namespace brightsi::sweep

@@ -11,9 +11,11 @@
 #ifndef BRIGHTSI_SWEEP_SYSTEM_CACHE_H
 #define BRIGHTSI_SWEEP_SYSTEM_CACHE_H
 
+#include <map>
 #include <memory>
 #include <string>
 
+#include "core/mission.h"
 #include "core/system_config.h"
 #include "sweep/scenario.h"
 
@@ -44,12 +46,48 @@ class ThermalModelCache {
   int build_count_ = 0;
 };
 
+/// Caches recorded mission thermal trajectories keyed by the scenario's
+/// mission-thermal-relevant overrides (sweep/scenario_hash.h's
+/// mission_trajectory_key). Scenarios that differ only in electrochemical
+/// knobs (tank size, initial SOC — ParameterInfo::mission_thermal_invariant)
+/// replay one recorded trajectory instead of re-running the transient
+/// thermal solve, which dominates mission cost.
+///
+/// Single-threaded, one instance per worker. A full map rather than a
+/// depth-1 slot: mission plans put the electrochemical axis outermost, so
+/// scenarios sharing a trajectory are far apart in plan order. Valid only
+/// while the worker evaluates against one base config — the runner
+/// guarantees that (fresh workers per SweepRunner::run; a fixed base per
+/// BatchEvaluationSession).
+class MissionTrajectoryCache {
+ public:
+  explicit MissionTrajectoryCache(bool enabled = true) : enabled_(enabled) {}
+
+  /// The recorded trajectory for `key`, or nullptr when absent (or the
+  /// cache is disabled). A hit is counted — lets tests assert replays
+  /// actually happened.
+  [[nodiscard]] const core::MissionThermalTrajectory* find(const std::string& key);
+
+  /// Stores a recorded trajectory (no-op when disabled).
+  void insert(const std::string& key, core::MissionThermalTrajectory trajectory);
+
+  [[nodiscard]] int hit_count() const { return hit_count_; }
+  [[nodiscard]] std::size_t size() const { return trajectories_.size(); }
+
+ private:
+  bool enabled_;
+  std::map<std::string, core::MissionThermalTrajectory> trajectories_;
+  int hit_count_ = 0;
+};
+
 /// Mutable per-worker state handed to every evaluator invocation of one
 /// sweep run. Owned by the runner; never shared between threads.
 struct WorkerState {
-  explicit WorkerState(bool reuse_structures = true) : thermal_models(reuse_structures) {}
+  explicit WorkerState(bool reuse_structures = true)
+      : thermal_models(reuse_structures), mission_trajectories(reuse_structures) {}
 
   ThermalModelCache thermal_models;
+  MissionTrajectoryCache mission_trajectories;
 };
 
 }  // namespace brightsi::sweep

@@ -484,6 +484,69 @@ TEST(SweepMission, EvaluatorReusesTheWorkerThermalModel) {
   EXPECT_EQ(worker.thermal_models.build_count(), 1);
 }
 
+TEST(SweepCache, MissionTrajectoryCacheBasics) {
+  sw::MissionTrajectoryCache cache(true);
+  EXPECT_EQ(cache.find("k"), nullptr);
+  EXPECT_EQ(cache.hit_count(), 0);
+
+  brightsi::core::MissionThermalTrajectory trajectory;
+  trajectory.engine_steps = 42;
+  cache.insert("k", trajectory);
+  ASSERT_NE(cache.find("k"), nullptr);
+  EXPECT_EQ(cache.find("k")->engine_steps, 42);
+  EXPECT_EQ(cache.hit_count(), 2);  // only successful lookups count
+  EXPECT_EQ(cache.find("other"), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Disabled (--no-reuse): inserts are dropped, lookups always miss.
+  sw::MissionTrajectoryCache disabled(false);
+  disabled.insert("k", trajectory);
+  EXPECT_EQ(disabled.find("k"), nullptr);
+  EXPECT_EQ(disabled.size(), 0u);
+  EXPECT_EQ(disabled.hit_count(), 0);
+}
+
+TEST(SweepMission, TrajectorySharedAcrossTankSizes) {
+  // mission_endurance expands tank_ml as the outermost axis, so rows 0 and
+  // 8 are the same mission under different tank volumes: the thermal
+  // trajectory recorded for row 0 must replay for row 8 (no second
+  // transient solve), with bitwise-equal thermal metrics and different
+  // electrochemical ones.
+  sw::SweepPlan plan = sw::make_registered_plan("mission_endurance");
+  ASSERT_EQ(plan.scenarios[0].get("tank_ml"), 2.0);
+  ASSERT_EQ(plan.scenarios[8].get("tank_ml"), 20.0);
+
+  sw::WorkerState worker;
+  const sw::SweepEvaluator evaluator = sw::mission_evaluator();
+  std::vector<std::vector<double>> metrics;
+  for (const std::size_t index : {std::size_t{0}, std::size_t{8}}) {
+    const sw::ScenarioSpec& scenario = plan.scenarios[index];
+    const co::SystemConfig config = sw::apply_scenario(plan.base, scenario);
+    metrics.push_back(evaluator.fn(config, scenario, worker));
+  }
+  EXPECT_EQ(worker.mission_trajectories.hit_count(), 1);
+  EXPECT_EQ(worker.thermal_models.build_count(), 1);
+  // metrics: {steps, final_soc, soc_drop, energy_j, max_peak_c, ...}
+  EXPECT_EQ(metrics[0][0], metrics[1][0]);  // identical step count
+  EXPECT_EQ(metrics[0][4], metrics[1][4]);  // bitwise-equal peak temperature
+  EXPECT_NE(metrics[0][1], metrics[1][1]);  // a 10x tank drains differently
+}
+
+TEST(SweepMission, TrajectoryReplayedRowsByteIdenticalWithAndWithoutReuse) {
+  // The trajectory cache's acceptance bar: a replayed mission row must be
+  // byte-identical to a freshly solved one, serial and parallel. The four
+  // scenarios form two (dt, operating-point) pairs that differ only in
+  // tank size, so the cached run replays half its rows.
+  sw::SweepPlan plan = sw::make_registered_plan("mission_endurance");
+  sw::SweepPlan trimmed = plan;
+  trimmed.scenarios = {plan.scenarios[0], plan.scenarios[1], plan.scenarios[8],
+                       plan.scenarios[9]};
+
+  const std::string reference = csv_of(sw::SweepRunner({1, false}).run(trimmed));
+  EXPECT_EQ(csv_of(sw::SweepRunner({1, true}).run(trimmed)), reference);
+  EXPECT_EQ(csv_of(sw::SweepRunner({4, true}).run(trimmed)), reference);
+}
+
 TEST(SweepCsv, QuotesCellsWithCommas) {
   sw::SweepPlan plan;
   plan.name = "quoting";

@@ -24,15 +24,21 @@
 //   --solver S        thermal preconditioner: ilu0 (default) or mg
 //   --transient B     thermal stepping backend for mission studies:
 //                     full (default) or rom (certified reduced-order)
+//   --store DIR       content-addressed result store (sweep/execution.h):
+//                     candidates evaluated by a previous run of the same
+//                     study are reused, fresh ones appended — a re-run
+//                     with a widened budget resumes instead of restarting
 #include <cstdio>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/report.h"
 #include "opt/studies.h"
+#include "sweep/execution.h"
 #include "cli_args.h"
 
 namespace op = brightsi::opt;
@@ -48,7 +54,7 @@ int usage(const char* argv0, int exit_code) {
                "           [--no-polish] [--no-reuse] [--maximize M[*W]] [--minimize M[*W]]\n"
                "           [--cap M=V] [--floor M=V] [--csv FILE] [--pareto FILE]\n"
                "           [--json FILE] [--quiet] [--solver ilu0|mg]"
-               " [--transient full|rom]\n",
+               " [--transient full|rom] [--store DIR]\n",
                argv0, argv0);
   return exit_code;
 }
@@ -130,6 +136,7 @@ int main(int argc, char** argv) {
     bool quiet = false;
     std::string solver_name;
     std::string transient_name;
+    std::string store_dir;
     std::vector<op::ObjectiveTerm> term_overrides;
     std::vector<op::MetricConstraint> extra_constraints;
 
@@ -171,6 +178,8 @@ int main(int argc, char** argv) {
       } else if (arg == "--transient") {
         transient_name =
             brightsi::tools::next_choice_arg(argc, argv, i, arg, {"full", "rom"});
+      } else if (arg == "--store") {
+        store_dir = next();
       } else {
         std::fprintf(stderr, "error: %s\n",
                      brightsi::tools::unknown_option_message(arg).c_str());
@@ -180,8 +189,9 @@ int main(int argc, char** argv) {
 
     op::Study study = op::make_registered_study(command);
     if (!solver_name.empty()) {
-      study.base.thermal_grid.solver_config.kind =
-          brightsi::thermal::parse_solver_kind(solver_name);
+      // A fixed override of the registered "solver" parameter (not a base
+      // mutation) so the store's content hash sees the choice.
+      study.fixed.emplace_back("solver", solver_name == "mg" ? 1.0 : 0.0);
     }
     if (transient_name == "rom") {
       // Candidate names derive from searched parameters only, so the fixed
@@ -194,10 +204,21 @@ int main(int argc, char** argv) {
     study.objective.constraints.insert(study.objective.constraints.end(),
                                        extra_constraints.begin(), extra_constraints.end());
 
+    if (!store_dir.empty()) {
+      sw::ShardOptions shard;
+      shard.store_dir = store_dir;
+      shard.scope = study.name;
+      shard.local = {options.thread_count, options.reuse_structures};
+      options.backend = sw::make_shard_backend(std::move(shard));
+    }
     const op::OptResult result = op::optimize(study, options);
 
     if (!quiet) {
       print_result(result);
+      if (!store_dir.empty()) {
+        std::printf("store: %lld reused, %lld evaluated\n", result.archive.exec.store_hits,
+                    result.archive.exec.evaluated);
+      }
     }
     bool ok = true;
     if (!csv_path.empty()) {

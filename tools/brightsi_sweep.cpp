@@ -16,16 +16,30 @@
 //   --quiet         suppress the result table on stdout
 //   --no-reuse      rebuild every model from scratch per scenario (results
 //                   are byte-identical with or without reuse)
+//
+// Distributed execution (the shard backend, sweep/execution.h):
+//   --store DIR     content-addressed result store; rows already stored
+//                   are reused, fresh rows are appended per-row (resume)
+//   --shard I/N     evaluate only this instance's share of the plan
+//                   (requires --store; cooperating instances share DIR)
+//   --limit N       stop after N fresh evaluations (kill-injection for
+//                   resume tests; remaining rows stay pending)
+//   --lease-timeout S   steal a peer's lease after S seconds (default 60)
+//
+// A partial run (some rows pending) exits nonzero; rerun, run the other
+// shards, or merge with brightsi_merge --allow-missing.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/report.h"
+#include "sweep/execution.h"
 #include "sweep/registry.h"
 #include "sweep/runner.h"
 #include "cli_args.h"
@@ -40,7 +54,8 @@ int usage(const char* argv0, int exit_code) {
                "usage: %s --list | --params\n"
                "       %s <plan> [--threads N] [--csv FILE] [--json FILE]"
                " [--timing FILE] [--quiet] [--no-reuse] [--solver ilu0|mg]"
-               " [--transient full|rom]\n"
+               " [--transient full|rom] [--store DIR [--shard I/N] [--limit N]"
+               " [--lease-timeout S]]\n"
                "       %s custom --evaluator cosim|array|array_thermal|rail|mission|stack"
                " (--grid p=v1,v2,... | --set p=v)... [options]\n",
                argv0, argv0, argv0);
@@ -147,6 +162,7 @@ int main(int argc, char** argv) {
     std::string transient_name;
     std::vector<sw::GridAxis> grid_axes;
     std::vector<std::pair<std::string, double>> fixed;
+    sw::ShardOptions shard;
 
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -171,6 +187,29 @@ int main(int argc, char** argv) {
       } else if (arg == "--transient") {
         transient_name =
             brightsi::tools::next_choice_arg(argc, argv, i, arg, {"full", "rom"});
+      } else if (arg == "--store") {
+        shard.store_dir = next();
+      } else if (arg == "--shard") {
+        const std::string spec = next();
+        const auto slash = spec.find('/');
+        if (slash == std::string::npos || slash == 0 || slash + 1 >= spec.size()) {
+          throw std::invalid_argument("--shard expects I/N (e.g. 0/3), got: " + spec);
+        }
+        try {
+          shard.shard_index = std::stoi(spec.substr(0, slash));
+          shard.shard_count = std::stoi(spec.substr(slash + 1));
+        } catch (const std::exception&) {
+          throw std::invalid_argument("--shard expects I/N (e.g. 0/3), got: " + spec);
+        }
+      } else if (arg == "--limit") {
+        shard.row_limit = brightsi::tools::next_int_arg(argc, argv, i, arg, 0);
+      } else if (arg == "--lease-timeout") {
+        const std::string value = next();
+        try {
+          shard.lease_timeout_s = std::stod(value);
+        } catch (const std::exception&) {
+          throw std::invalid_argument("--lease-timeout expects seconds, got: " + value);
+        }
       } else if (arg == "--grid") {
         grid_axes.push_back(parse_axis(next()));
       } else if (arg == "--set") {
@@ -201,8 +240,13 @@ int main(int argc, char** argv) {
       plan = sw::make_registered_plan(command);
     }
     if (!solver_name.empty()) {
-      plan.base.thermal_grid.solver_config.kind =
-          brightsi::thermal::parse_solver_kind(solver_name);
+      // Stamped as the registered "solver" scenario override (not a base
+      // mutation) so the store's content hash sees the choice.
+      for (sw::ScenarioSpec& scenario : plan.scenarios) {
+        if (!scenario.get("solver")) {
+          scenario.set("solver", solver_name == "mg" ? 1.0 : 0.0);
+        }
+      }
     }
     if (transient_name == "rom") {
       // Stamp the backend onto every scenario (an explicit per-scenario
@@ -215,11 +259,30 @@ int main(int argc, char** argv) {
     }
     plan.validate();
 
-    const sw::SweepRunner runner(options);
+    if (shard.store_dir.empty() && (shard.shard_count != 1 || shard.shard_index != 0)) {
+      throw std::invalid_argument("--shard requires --store (shards cooperate through it)");
+    }
+    if (shard.store_dir.empty() && shard.row_limit >= 0) {
+      throw std::invalid_argument("--limit requires --store (it bounds fresh store rows)");
+    }
+
+    std::shared_ptr<sw::ExecutionBackend> backend;
+    if (!shard.store_dir.empty()) {
+      shard.scope = plan.name;
+      shard.local = options;
+      backend = sw::make_shard_backend(std::move(shard));
+    }
+    const sw::SweepRunner runner =
+        backend != nullptr ? sw::SweepRunner(backend) : sw::SweepRunner(options);
     const sw::SweepResult result = runner.run(plan);
 
     if (!quiet) {
       print_result_table(result);
+      if (result.backend == "shard") {
+        std::printf("store: %lld reused, %lld evaluated, %lld pending, %lld leases stolen\n",
+                    result.exec.store_hits, result.exec.evaluated, result.exec.pending,
+                    result.exec.leases_stolen);
+      }
     }
     bool ok = true;
     if (!csv_path.empty()) {
