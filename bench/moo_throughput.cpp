@@ -1,0 +1,201 @@
+// Multi-objective optimizer throughput and quality: the evolutionary
+// nsga2 search against the grid optimizer on the stack_pareto study at an
+// equal real-evaluation budget. Measures candidate evaluations per
+// second, the surrogate pre-screen rate (offspring rejected before a real
+// co-simulation), and the 2-D hypervolume of each algorithm's feasible
+// Pareto front — the acceptance gate is hypervolume_ratio >= 1, i.e. the
+// evolutionary front dominates or matches the grid front.
+//
+// Prints a human-readable summary and writes a machine-readable
+// BENCH_moo.json uploaded by the CI release-bench job (schema:
+// docs/BENCHMARKS.md). A non-flag first argument overrides the JSON path.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "opt/nsga2.h"
+#include "opt/studies.h"
+#include "opt/surrogate.h"
+
+namespace op = brightsi::opt;
+
+namespace {
+
+constexpr int kBudget = 24;
+
+int metric_index(const op::OptResult& result, const std::string& name) {
+  const auto& names = result.archive.metric_names;
+  return static_cast<int>(std::find(names.begin(), names.end(), name) - names.begin());
+}
+
+/// The feasible Pareto front as (net_w, peak_t_c) points.
+std::vector<std::pair<double, double>> front_points(const op::OptResult& result) {
+  const int max_index = metric_index(result, "net_w");
+  const int min_index = metric_index(result, "peak_t_c");
+  std::vector<std::pair<double, double>> points;
+  for (const int index : result.pareto_indices) {
+    const auto& metrics = result.archive.rows[static_cast<std::size_t>(index)].metrics;
+    points.emplace_back(metrics[static_cast<std::size_t>(max_index)],
+                        metrics[static_cast<std::size_t>(min_index)]);
+  }
+  return points;
+}
+
+struct Measurement {
+  op::OptResult result;
+  double wall_s = 0.0;
+
+  [[nodiscard]] double evaluations_per_s() const {
+    return wall_s > 0.0 ? static_cast<double>(result.evaluations()) / wall_s : 0.0;
+  }
+};
+
+Measurement run_nsga2(const op::Study& study) {
+  op::Nsga2Options options;
+  options.budget = kBudget;
+  options.population = 6;
+  const auto start = std::chrono::steady_clock::now();
+  Measurement m{op::optimize_nsga2(study, options), 0.0};
+  m.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return m;
+}
+
+Measurement run_grid(const op::Study& study) {
+  op::OptimizerOptions options;
+  options.budget = kBudget;
+  const auto start = std::chrono::steady_clock::now();
+  Measurement m{op::optimize(study, options), 0.0};
+  m.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return m;
+}
+
+void print_reproduction(const char* json_path) {
+  const op::Study study = op::make_registered_study("stack_pareto");
+  const Measurement moo = run_nsga2(study);
+  const Measurement grid = run_grid(study);
+
+  // One shared reference corner, just outside the union of both fronts,
+  // so each front's hypervolume is measured against the same yardstick.
+  const std::vector<std::pair<double, double>> moo_front = front_points(moo.result);
+  const std::vector<std::pair<double, double>> grid_front = front_points(grid.result);
+  double ref_maximize = 0.0;
+  double ref_minimize = 0.0;
+  for (const auto& [f, g] : moo_front) {
+    ref_maximize = std::min(ref_maximize, f);
+    ref_minimize = std::max(ref_minimize, g);
+  }
+  for (const auto& [f, g] : grid_front) {
+    ref_maximize = std::min(ref_maximize, f);
+    ref_minimize = std::max(ref_minimize, g);
+  }
+  ref_maximize -= 1.0;  // W below the worst front point
+  ref_minimize += 1.0;  // C above the hottest front point
+  const double hv_moo = op::hypervolume_2d(moo_front, ref_maximize, ref_minimize);
+  const double hv_grid = op::hypervolume_2d(grid_front, ref_maximize, ref_minimize);
+  const double ratio = hv_grid > 0.0 ? hv_moo / hv_grid : (hv_moo > 0.0 ? 2.0 : 1.0);
+  const double screen_rate =
+      moo.result.surrogate_candidates > 0
+          ? static_cast<double>(moo.result.surrogate_screened) /
+                static_cast<double>(moo.result.surrogate_candidates)
+          : 0.0;
+
+  std::printf("== moo throughput: stack_pareto study, budget %d ==\n", kBudget);
+  std::printf("nsga2: %lld evaluations in %.3f s -> %.2f evaluations/s "
+              "(%d generations)\n",
+              moo.result.evaluations(), moo.wall_s, moo.evaluations_per_s(),
+              moo.result.generations);
+  std::printf("surrogate: %lld proposed, %lld screened out (%.0f%% screen rate)\n",
+              moo.result.surrogate_candidates, moo.result.surrogate_screened,
+              100.0 * screen_rate);
+  std::printf("front: nsga2 %zu designs (hv %.4f) vs grid %zu designs (hv %.4f) "
+              "-> ratio %.3f\n\n",
+              moo_front.size(), hv_moo, grid_front.size(), hv_grid, ratio);
+
+  std::FILE* file = std::fopen(json_path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return;
+  }
+  std::fprintf(file,
+               "{\n"
+               "  \"bench\": \"moo_throughput\",\n"
+               "  \"study\": \"stack_pareto\",\n"
+               "  \"budget\": %d,\n"
+               "  \"nsga2\": {\n"
+               "    \"evaluations\": %lld,\n"
+               "    \"wall_s\": %.6f,\n"
+               "    \"evaluations_per_s\": %.4f,\n"
+               "    \"generations\": %d,\n"
+               "    \"surrogate_candidates\": %lld,\n"
+               "    \"surrogate_screened\": %lld,\n"
+               "    \"surrogate_screen_rate\": %.4f,\n"
+               "    \"front_size\": %zu,\n"
+               "    \"hypervolume\": %.6f\n"
+               "  },\n"
+               "  \"grid\": {\n"
+               "    \"evaluations\": %lld,\n"
+               "    \"wall_s\": %.6f,\n"
+               "    \"evaluations_per_s\": %.4f,\n"
+               "    \"front_size\": %zu,\n"
+               "    \"hypervolume\": %.6f\n"
+               "  },\n"
+               "  \"hypervolume_ratio\": %.6f,\n"
+               "  \"dominates_or_matches\": %s\n"
+               "}\n",
+               kBudget, moo.result.evaluations(), moo.wall_s, moo.evaluations_per_s(),
+               moo.result.generations, moo.result.surrogate_candidates,
+               moo.result.surrogate_screened, screen_rate, moo_front.size(), hv_moo,
+               grid.result.evaluations(), grid.wall_s, grid.evaluations_per_s(),
+               grid_front.size(), hv_grid, ratio, ratio >= 1.0 ? "true" : "false");
+  std::fclose(file);
+  std::printf("wrote %s\n", json_path);
+}
+
+/// Surrogate train + full-pool predict: the per-generation overhead the
+/// screen adds on top of the real evaluations it saves.
+void bm_surrogate_screen(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<std::vector<double>> points;
+  std::vector<std::vector<double>> targets;
+  for (int i = 0; i < n; ++i) {
+    // A deterministic low-discrepancy-ish scatter; values are irrelevant,
+    // the kernel solve cost is what is measured.
+    const double x = static_cast<double>((i * 17) % n) / static_cast<double>(n);
+    const double y = static_cast<double>((i * 29) % n) / static_cast<double>(n);
+    points.push_back({x, y, 0.5});
+    targets.push_back({x + y, x - y});
+  }
+  for (auto _ : state) {
+    op::RbfSurrogate surrogate;
+    benchmark::DoNotOptimize(surrogate.train(points, targets));
+    for (int i = 0; i < 3 * n; ++i) {
+      benchmark::DoNotOptimize(
+          surrogate.predict({static_cast<double>(i) / static_cast<double>(3 * n), 0.5, 0.25}));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(3 * n));
+}
+BENCHMARK(bm_surrogate_screen)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = "BENCH_moo.json";
+  if (argc > 1 && std::strncmp(argv[1], "--", 2) != 0) {
+    json_path = argv[1];
+    for (int i = 1; i + 1 < argc; ++i) {
+      argv[i] = argv[i + 1];
+    }
+    --argc;
+  }
+  print_reproduction(json_path);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -166,11 +166,31 @@ double ResolvedObjective::score(const std::vector<double>& metrics) const {
 bool ResolvedObjective::feasible(const std::vector<double>& metrics) const {
   for (const auto& [index, constraint] : constraints_) {
     const double value = metrics[static_cast<std::size_t>(index)];
-    if (!(value >= constraint.min && value <= constraint.max)) {
+    // A NaN metric is explicitly infeasible: it must not depend on which
+    // side of the window is checked (NaN fails every ordered comparison,
+    // so a hand-reordered `value > max` style test would silently pass it).
+    if (std::isnan(value) || !(value >= constraint.min && value <= constraint.max)) {
       return false;
     }
   }
   return true;
+}
+
+double ResolvedObjective::constraint_violation(const std::vector<double>& metrics) const {
+  double total = 0.0;
+  for (const auto& [index, constraint] : constraints_) {
+    const double value = metrics[static_cast<std::size_t>(index)];
+    if (std::isnan(value)) {
+      return std::numeric_limits<double>::infinity();
+    }
+    if (value < constraint.min) {
+      total += constraint.min - value;
+    }
+    if (value > constraint.max) {
+      total += value - constraint.max;
+    }
+  }
+  return total;
 }
 
 }  // namespace brightsi::opt

@@ -72,8 +72,15 @@ class ResolvedObjective {
 
   /// Weighted objective value of one metric row (higher is better).
   [[nodiscard]] double score(const std::vector<double>& metrics) const;
-  /// True when every constraint window contains its metric.
+  /// True when every constraint window contains its metric. A NaN value
+  /// under any constraint is explicitly infeasible, regardless of which
+  /// side of the window it would be compared against.
   [[nodiscard]] bool feasible(const std::vector<double>& metrics) const;
+  /// Total distance outside the constraint windows (0 when feasible;
+  /// +inf when a constrained metric is NaN). The constraint-domination
+  /// measure of the evolutionary optimizer: among infeasible candidates,
+  /// smaller violation wins.
+  [[nodiscard]] double constraint_violation(const std::vector<double>& metrics) const;
 
   [[nodiscard]] bool has_pareto_pair() const { return pareto_maximize_index_ >= 0; }
   [[nodiscard]] int pareto_maximize_index() const { return pareto_maximize_index_; }

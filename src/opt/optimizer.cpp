@@ -12,6 +12,39 @@
 
 namespace brightsi::opt {
 
+std::vector<double> snap_study_point(const Study& study, std::vector<double> point) {
+  for (std::size_t a = 0; a < study.parameters.size(); ++a) {
+    const StudyParameter& parameter = study.parameters[a];
+    double value = std::clamp(point[a], parameter.lower, parameter.upper);
+    if (parameter.integer) {
+      value = std::clamp(std::round(value), std::ceil(parameter.lower),
+                         std::floor(parameter.upper));
+    }
+    if (value == 0.0) {
+      // Canonicalize -0.0: the exact-coordinate dedup, the candidate name
+      // and the store's content hash must all see one zero.
+      value = 0.0;
+    }
+    point[a] = value;
+  }
+  return point;
+}
+
+sweep::ScenarioSpec make_candidate_spec(const Study& study, const std::vector<double>& point) {
+  sweep::ScenarioSpec spec;
+  for (const auto& [param, value] : study.fixed) {
+    spec.set(param, value);
+  }
+  for (std::size_t a = 0; a < study.parameters.size(); ++a) {
+    spec.set(study.parameters[a].param, point[a]);
+    if (!spec.name.empty()) {
+      spec.name += " ";
+    }
+    spec.name += study.parameters[a].param + "=" + sweep::format_sweep_value(point[a]);
+  }
+  return spec;
+}
+
 namespace {
 
 constexpr double kNegativeInfinity = -std::numeric_limits<double>::infinity();
@@ -35,35 +68,6 @@ struct SearchState {
     return static_cast<int>(result.archive.rows.size()) >= options.budget;
   }
 };
-
-/// Clamps to bounds and snaps integer parameters.
-std::vector<double> snap_point(const Study& study, std::vector<double> point) {
-  for (std::size_t a = 0; a < study.parameters.size(); ++a) {
-    const StudyParameter& parameter = study.parameters[a];
-    double value = std::clamp(point[a], parameter.lower, parameter.upper);
-    if (parameter.integer) {
-      value = std::clamp(std::round(value), std::ceil(parameter.lower),
-                         std::floor(parameter.upper));
-    }
-    point[a] = value;
-  }
-  return point;
-}
-
-sweep::ScenarioSpec make_candidate_spec(const Study& study, const std::vector<double>& point) {
-  sweep::ScenarioSpec spec;
-  for (const auto& [param, value] : study.fixed) {
-    spec.set(param, value);
-  }
-  for (std::size_t a = 0; a < study.parameters.size(); ++a) {
-    spec.set(study.parameters[a].param, point[a]);
-    if (!spec.name.empty()) {
-      spec.name += " ";
-    }
-    spec.name += study.parameters[a].param + "=" + sweep::format_sweep_value(point[a]);
-  }
-  return spec;
-}
 
 /// Evaluates the fresh (unseen) prefix of `candidates` that fits the
 /// remaining budget, appending rows to the archive in submission order and
@@ -145,7 +149,7 @@ void refine(SearchState& state) {
       for (int i = 0; i < k; ++i) {
         std::vector<double> point = anchor;
         point[a] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(k - 1);
-        candidates.push_back(snap_point(state.study, std::move(point)));
+        candidates.push_back(snap_study_point(state.study, std::move(point)));
       }
       evaluate_batch(state, candidates);
     }
@@ -193,7 +197,7 @@ void polish(SearchState& state) {
     const double step = (parameter.upper - parameter.lower) * 0.05;
     std::vector<double> point = origin;
     point[a] += point[a] + step <= parameter.upper ? step : -step;
-    point = snap_point(state.study, std::move(point));
+    point = snap_study_point(state.study, std::move(point));
     const std::optional<double> score = evaluate_point(state, point);
     if (!score.has_value()) {
       return;
@@ -227,7 +231,7 @@ void polish(SearchState& state) {
       for (const std::size_t a : axes) {
         point[a] = centroid[a] + towards * (centroid[a] - worst.point[a]);
       }
-      return snap_point(state.study, std::move(point));
+      return snap_study_point(state.study, std::move(point));
     };
 
     const std::vector<double> reflected = blend(1.0);
@@ -262,7 +266,7 @@ void polish(SearchState& state) {
       for (const std::size_t a : axes) {
         point[a] = simplex.front().point[a] + 0.5 * (point[a] - simplex.front().point[a]);
       }
-      point = snap_point(state.study, std::move(point));
+      point = snap_study_point(state.study, std::move(point));
       const std::optional<double> score = evaluate_point(state, point);
       if (!score.has_value()) {
         return;
@@ -376,7 +380,7 @@ OptResult optimize(const Study& study, const OptimizerOptions& options) {
   for (std::size_t a = 0; a < study.parameters.size(); ++a) {
     center[a] = (study.parameters[a].lower + study.parameters[a].upper) / 2.0;
   }
-  evaluate_batch(state, {snap_point(study, std::move(center))});
+  evaluate_batch(state, {snap_study_point(study, std::move(center))});
 
   refine(state);
   if (options.nelder_mead) {
@@ -458,11 +462,15 @@ void write_opt_json(std::ostream& os, const OptResult& result) {
   const std::vector<std::vector<std::string>> rows = formatted_archive_rows(result);
   os << "{\n"
      << "  \"study\": \"" << core::json_escape(result.study_name) << "\",\n"
+     << "  \"algo\": \"" << core::json_escape(result.algo) << "\",\n"
      << "  \"objective\": \"" << core::json_escape(result.objective_description) << "\",\n"
      << "  \"evaluator\": \"" << core::json_escape(result.archive.evaluator_name) << "\",\n"
      << "  \"evaluations\": " << result.evaluations() << ",\n"
      << "  \"passes\": " << result.passes << ",\n"
      << "  \"polish_steps\": " << result.polish_steps << ",\n"
+     << "  \"generations\": " << result.generations << ",\n"
+     << "  \"surrogate_candidates\": " << result.surrogate_candidates << ",\n"
+     << "  \"surrogate_screened\": " << result.surrogate_screened << ",\n"
      << "  \"best_index\": " << result.best_index << ",\n"
      << "  \"best\": ";
   if (result.best_index >= 0) {

@@ -85,6 +85,10 @@ struct OptResult {
   int passes = 0;                   ///< refinement passes executed
   int polish_steps = 0;             ///< Nelder–Mead iterations executed
   int model_builds = 0;             ///< worker structure builds (cache misses)
+  std::string algo = "grid";        ///< producing algorithm ("grid", "nsga2")
+  int generations = 0;              ///< evolutionary generations (nsga2 only)
+  long long surrogate_candidates = 0;  ///< offspring proposed to the pre-screen
+  long long surrogate_screened = 0;    ///< offspring the pre-screen rejected
 
   [[nodiscard]] const sweep::ScenarioResult* best() const;
   [[nodiscard]] long long evaluations() const {
@@ -95,6 +99,20 @@ struct OptResult {
 /// Runs the optimizer. Throws std::invalid_argument on an invalid study or
 /// a non-positive budget.
 [[nodiscard]] OptResult optimize(const Study& study, const OptimizerOptions& options = {});
+
+/// Clamps `point` to the study's bounds, snaps integer parameters and
+/// canonicalizes -0.0 to +0.0 — the coordinate normal form shared by both
+/// optimizers, so exact-coordinate dedup, candidate names and the store's
+/// content hash all agree on one representation per design.
+[[nodiscard]] std::vector<double> snap_study_point(const Study& study,
+                                                   std::vector<double> point);
+
+/// The ScenarioSpec of one candidate: the study's fixed overrides, then
+/// the searched parameters (which win on collision). The name derives from
+/// the searched parameters only, so rows stay byte-comparable across runs
+/// that differ in fixed overrides.
+[[nodiscard]] sweep::ScenarioSpec make_candidate_spec(const Study& study,
+                                                      const std::vector<double>& point);
 
 /// 2-objective non-dominated filter over (maximize metrics[max_index],
 /// minimize metrics[min_index]) of the given rows; returns the surviving

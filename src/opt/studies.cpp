@@ -110,6 +110,60 @@ Study stack_depth_study() {
   return study;
 }
 
+/// The full stacked-cooling trade space for the evolutionary optimizer:
+/// stack depth, interlayer split, channel sizing and operating point in
+/// one mixed real/integer box. Too many axes for per-axis grid refinement
+/// to cover — the motivating study of --algo nsga2.
+Study stack_pareto_study() {
+  Study study;
+  study.name = "stack_pareto";
+  study.summary =
+      "full 3D-stack trade space: dies x interlayer x channels x operating point, "
+      "net power vs peak-T front under the 360 K cap";
+  study.base = core::power7_system_config();
+  study.base.thermal_grid.axial_cells = 8;  // stacked solves are much larger
+  study.base.fvm.axial_steps = 60;
+  study.evaluator = sweep::stack_evaluator();
+  study.objective = maximize_metric("net_w");
+  study.objective.constraints.push_back(peak_temperature_cap());
+  study.objective.pareto_maximize = "net_w";
+  study.objective.pareto_minimize = "peak_t_c";
+  study.parameters = {
+      {"die_count", 1.0, 3.0, true},
+      {"interlayer", 0.0, 1.0, true},
+      {"flow_ml_min", 200.0, 2000.0, false},
+      {"stack_channel_height_um", 200.0, 800.0, false},
+      {"channel_gap_um", 100.0, 400.0, false},
+      {"inlet_c", 27.0, 60.0, false},
+  };
+  return study;
+}
+
+/// Rack-level delivery + cooling geometry through the full co-simulation:
+/// VRM tap grid and output resistance against coolant channel height and
+/// flow — the conversion/pumping-loss trade at one operating point.
+Study rack_geometry_study() {
+  Study study;
+  study.name = "rack_geometry";
+  study.summary =
+      "rack delivery + cooling: VRM grid/resistance x channel height x flow, "
+      "net power vs peak-T front under the cap";
+  study.base = core::power7_system_config();
+  study.base.thermal_grid.axial_cells = 16;
+  study.evaluator = sweep::cosim_evaluator();
+  study.objective = maximize_metric("net_w");
+  study.objective.constraints.push_back(peak_temperature_cap());
+  study.objective.pareto_maximize = "net_w";
+  study.objective.pareto_minimize = "peak_t_c";
+  study.parameters = {
+      {"vrm_grid_n", 1.0, 8.0, true},
+      {"vrm_r_mohm", 5.0, 100.0, false},
+      {"channel_height_um", 200.0, 800.0, false},
+      {"flow_ml_min", 48.0, 2000.0, false},
+  };
+  return study;
+}
+
 }  // namespace
 
 const std::vector<StudyDescription>& registered_studies() {
@@ -122,6 +176,10 @@ const std::vector<StudyDescription>& registered_studies() {
        "VRM tap grid and output resistance vs cache-rail integrity"},
       {"stack_depth",
        "3D-stack depth: dies x flow x cooling-layer height vs net power under the cap"},
+      {"stack_pareto",
+       "full 3D-stack trade space (6 mixed axes); the evolutionary optimizer's home study"},
+      {"rack_geometry",
+       "VRM grid/resistance x channel height x flow through the full co-simulation"},
   };
   return studies;
 }
@@ -138,6 +196,12 @@ Study make_registered_study(const std::string& name) {
   }
   if (name == "stack_depth") {
     return stack_depth_study();
+  }
+  if (name == "stack_pareto") {
+    return stack_pareto_study();
+  }
+  if (name == "rack_geometry") {
+    return rack_geometry_study();
   }
   throw std::invalid_argument("unknown optimization study: " + name);
 }

@@ -1,0 +1,116 @@
+#include "opt/surrogate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/dense_matrix.h"
+
+namespace brightsi::opt {
+
+namespace {
+
+double squared_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+/// Median pairwise distance: the classical shape heuristic. Deterministic
+/// (nth_element over exact doubles) and scale-free in the normalized box.
+double median_pairwise_distance(const std::vector<std::vector<double>>& points) {
+  std::vector<double> distances;
+  distances.reserve(points.size() * (points.size() - 1) / 2);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      distances.push_back(std::sqrt(squared_distance(points[i], points[j])));
+    }
+  }
+  if (distances.empty()) {
+    return 0.0;
+  }
+  const std::size_t mid = distances.size() / 2;
+  std::nth_element(distances.begin(), distances.begin() + static_cast<std::ptrdiff_t>(mid),
+                   distances.end());
+  return distances[mid];
+}
+
+}  // namespace
+
+bool RbfSurrogate::train(const std::vector<std::vector<double>>& points,
+                         const std::vector<std::vector<double>>& targets) {
+  centers_.clear();
+  weights_.clear();
+  means_.clear();
+  const int n = static_cast<int>(points.size());
+  if (n < 2 || targets.size() != points.size()) {
+    return false;
+  }
+  const std::size_t dim = points.front().size();
+  if (n < static_cast<int>(dim) + 2) {
+    return false;  // under-determined: predictions would be extrapolation noise
+  }
+  const double shape = median_pairwise_distance(points);
+  if (!(shape > 0.0) || !std::isfinite(shape)) {
+    return false;  // coincident points
+  }
+  inv_shape_sq_ = 1.0 / (shape * shape);
+
+  // K_ij = exp(-|x_i - x_j|^2 / c^2), ridged for conditioning: the
+  // surrogate is a screen, not a certificate, so a tiny interpolation
+  // error is a fair trade for never throwing on a clustered archive.
+  numerics::DenseMatrix kernel(n, n);
+  constexpr double kRidge = 1e-8;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const double k =
+          std::exp(-squared_distance(points[static_cast<std::size_t>(i)],
+                                     points[static_cast<std::size_t>(j)]) *
+                   inv_shape_sq_);
+      kernel.at(i, j) = k + (i == j ? kRidge : 0.0);
+    }
+  }
+
+  const std::size_t columns = targets.front().size();
+  std::vector<std::vector<double>> weights(columns);
+  std::vector<double> means(columns, 0.0);
+  try {
+    const numerics::LuFactorization lu(kernel);
+    std::vector<double> rhs(static_cast<std::size_t>(n));
+    for (std::size_t c = 0; c < columns; ++c) {
+      double mean = 0.0;
+      for (int i = 0; i < n; ++i) {
+        mean += targets[static_cast<std::size_t>(i)][c];
+      }
+      mean /= static_cast<double>(n);
+      for (int i = 0; i < n; ++i) {
+        rhs[static_cast<std::size_t>(i)] = targets[static_cast<std::size_t>(i)][c] - mean;
+      }
+      weights[c].resize(static_cast<std::size_t>(n));
+      lu.solve(rhs, weights[c]);
+      means[c] = mean;
+    }
+  } catch (const std::runtime_error&) {
+    return false;  // singular despite the ridge: skip this generation's screen
+  }
+  centers_ = points;
+  weights_ = std::move(weights);
+  means_ = std::move(means);
+  return true;
+}
+
+std::vector<double> RbfSurrogate::predict(const std::vector<double>& x) const {
+  std::vector<double> prediction(means_);
+  for (std::size_t i = 0; i < centers_.size(); ++i) {
+    const double k = std::exp(-squared_distance(centers_[i], x) * inv_shape_sq_);
+    for (std::size_t c = 0; c < weights_.size(); ++c) {
+      prediction[c] += weights_[c][i] * k;
+    }
+  }
+  return prediction;
+}
+
+}  // namespace brightsi::opt

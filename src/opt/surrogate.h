@@ -1,0 +1,50 @@
+// Radial-basis-function surrogate over evaluated design points: the cheap
+// pre-screen of the evolutionary optimizer. Trained on the archive of real
+// evaluations (the same rows a --store directory persists), it predicts
+// each objective of a proposed offspring so one generation can triage a
+// large candidate pool down to the few designs worth a real co-simulation
+// — the surrogate-assisted pattern of the multi-chip cooling-channel
+// optimization literature (see PAPERS.md).
+//
+// Everything is deterministic: Gaussian kernel with a median-distance
+// shape parameter, ridge-regularized dense solve (numerics/dense_matrix),
+// no randomness — so the optimizer's byte-identity contract survives the
+// surrogate unchanged.
+#ifndef BRIGHTSI_OPT_SURROGATE_H
+#define BRIGHTSI_OPT_SURROGATE_H
+
+#include <vector>
+
+namespace brightsi::opt {
+
+class RbfSurrogate {
+ public:
+  RbfSurrogate() = default;
+
+  /// Fits one interpolant per target column on `points` (rows of equal
+  /// dimension; the optimizer passes box-normalized coordinates) against
+  /// `targets` (one row per point, every row the same width). Returns
+  /// false — leaving the surrogate untrained — when there are fewer than
+  /// dim + 2 points, the points are all coincident, or the regularized
+  /// kernel system is numerically singular; the caller then skips the
+  /// pre-screen for that generation.
+  bool train(const std::vector<std::vector<double>>& points,
+             const std::vector<std::vector<double>>& targets);
+
+  [[nodiscard]] bool trained() const { return !weights_.empty(); }
+  [[nodiscard]] int target_count() const { return static_cast<int>(weights_.size()); }
+
+  /// Predicted target row at `x` (same dimension as the training points).
+  /// Must not be called untrained.
+  [[nodiscard]] std::vector<double> predict(const std::vector<double>& x) const;
+
+ private:
+  std::vector<std::vector<double>> centers_;
+  std::vector<std::vector<double>> weights_;  ///< per target column, size n
+  std::vector<double> means_;                 ///< per target column (trend term)
+  double inv_shape_sq_ = 1.0;                 ///< 1 / c^2 of exp(-r^2 / c^2)
+};
+
+}  // namespace brightsi::opt
+
+#endif  // BRIGHTSI_OPT_SURROGATE_H

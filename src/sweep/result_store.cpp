@@ -269,7 +269,12 @@ bool ResultStore::try_claim(const ScenarioHash& hash, double timeout_s,
     return create_if_absent ? create_exclusive() : false;
   }
   const auto age = fs::file_time_type::clock::now() - mtime;
-  if (std::chrono::duration<double>(age).count() <= timeout_s) {
+  const double age_s = std::chrono::duration<double>(age).count();
+  // A negative age means the lease's mtime is in the future (clock skew
+  // between hosts on a shared filesystem, or a copied store directory).
+  // Such a lease would look "fresh" forever and orphan its row; treat it
+  // as expired so it can still be stolen.
+  if (age_s >= 0.0 && age_s <= timeout_s) {
     return false;  // freshly held by a live writer
   }
   // Orphaned: the holder outlived its timeout without storing the row.

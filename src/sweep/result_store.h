@@ -99,7 +99,9 @@ class ResultStore {
   /// *stolen in the latter case). With `create_if_absent` false only an
   /// expired lease is taken over — the probe the shard backend uses on
   /// rows owned by *other* shards, so it helps crashed peers without
-  /// hijacking work they simply have not started. Thread-safe.
+  /// hijacking work they simply have not started. A lease whose mtime
+  /// lies in the future (clock skew, copied store directories) counts as
+  /// expired, never as eternally fresh. Thread-safe.
   bool try_claim(const ScenarioHash& hash, double timeout_s, bool create_if_absent,
                  bool* stolen = nullptr);
 

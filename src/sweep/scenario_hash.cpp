@@ -21,6 +21,15 @@ std::uint64_t fnv1a(std::string_view bytes, std::uint64_t seed) {
   return hash;
 }
 
+/// Raw IEEE-754 bits with -0.0 canonicalized to +0.0: the two zeros
+/// compare equal everywhere a scenario value is consumed, so siblings
+/// differing only in zero sign must hash identically — otherwise a
+/// -0.0-valued candidate misses the store row its +0.0 twin already paid
+/// for and gets evaluated twice.
+void put_canonical_f64(std::string& out, double value) {
+  core::put_f64(out, value == 0.0 ? 0.0 : value);
+}
+
 /// Overrides sorted by parameter name (stable, so a pathological duplicate
 /// keeps its relative order), serialized name-then-raw-bits.
 void put_sorted_overrides(std::string& out,
@@ -35,7 +44,7 @@ void put_sorted_overrides(std::string& out,
   core::put_u32(out, static_cast<std::uint32_t>(sorted.size()));
   for (const auto* entry : sorted) {
     core::put_bytes(out, entry->first);
-    core::put_f64(out, entry->second);
+    put_canonical_f64(out, entry->second);
   }
 }
 

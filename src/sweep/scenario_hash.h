@@ -8,7 +8,9 @@
 //     pairs in different orders are the same evaluation;
 //   * values travel as raw little-endian IEEE-754 bit patterns, never as
 //     formatted text — the hash distinguishes exactly the doubles the
-//     evaluator would see;
+//     evaluator would see, with one canonicalization: -0.0 serializes as
+//     +0.0, because the two zeros are indistinguishable to every consumer
+//     of a scenario value and must not produce distinct store rows;
 //   * strings are u32-length-prefixed (no separator ambiguity);
 //   * the scenario name participates in the store key (a row is one named
 //     plan entry), and the store salt folds in the plan name, evaluator

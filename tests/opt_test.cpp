@@ -61,6 +61,39 @@ TEST(Objective, ResolvesAndScores) {
   EXPECT_FALSE(objective.has_pareto_pair());
 }
 
+TEST(Objective, NanMetricsAreExplicitlyInfeasible) {
+  // NaN fails every ordered comparison, so a naive `min <= v && v <= max`
+  // would already reject it — but a naive `!(v < min) && !(v > max)` would
+  // accept it. Pin the semantics in both bound directions, and pin the
+  // violation measure the evolutionary optimizer ranks infeasibles by.
+  const double nan = std::nan("");
+  const std::vector<std::string> metrics = {"net_w", "peak_t_c"};
+  op::ObjectiveSpec spec = op::maximize_metric("net_w");
+  op::MetricConstraint floor;  // net_w >= 1 (lower bound)
+  floor.metric = "net_w";
+  floor.min = 1.0;
+  spec.constraints.push_back(floor);
+  op::MetricConstraint cap;  // peak_t_c <= 80 (upper bound)
+  cap.metric = "peak_t_c";
+  cap.max = 80.0;
+  spec.constraints.push_back(cap);
+
+  const op::ResolvedObjective objective(spec, metrics);
+  EXPECT_TRUE(objective.feasible({10.0, 50.0}));
+  EXPECT_FALSE(objective.feasible({nan, 50.0}));  // NaN under the floor
+  EXPECT_FALSE(objective.feasible({10.0, nan}));  // NaN under the cap
+
+  EXPECT_DOUBLE_EQ(objective.constraint_violation({10.0, 50.0}), 0.0);
+  EXPECT_DOUBLE_EQ(objective.constraint_violation({0.25, 90.0}), 0.75 + 10.0);
+  EXPECT_TRUE(std::isinf(objective.constraint_violation({nan, 50.0})));
+  EXPECT_TRUE(std::isinf(objective.constraint_violation({10.0, nan})));
+  // An unconstrained NaN metric does not poison feasibility of the rest.
+  op::ObjectiveSpec only_cap = op::maximize_metric("net_w");
+  only_cap.constraints.push_back(cap);
+  const op::ResolvedObjective partial(only_cap, metrics);
+  EXPECT_TRUE(partial.feasible({nan, 50.0}));
+}
+
 TEST(Objective, DescribeReadsNaturally) {
   op::ObjectiveSpec spec = op::maximize_metric("net_w");
   op::MetricConstraint cap;

@@ -198,16 +198,24 @@ TEST(ScenarioHash, DeterministicAndOrderInsensitive) {
   EXPECT_NE(h1, sw::hash_scenario(retuned, 42));  // value bits participate
 }
 
-TEST(ScenarioHash, DistinguishesValueBitPatterns) {
-  // The canonical bytes carry raw IEEE-754 bits, so 0.0 and -0.0 — which
-  // compare equal as doubles — are different evaluations to the store.
+TEST(ScenarioHash, CanonicalizesNegativeZeroButKeepsOtherBitPatterns) {
+  // 0.0 and -0.0 compare equal everywhere a parameter value is consumed,
+  // so they must name the same evaluation: a -0.0 produced by snapped
+  // optimizer arithmetic must not fork a second store row for the same
+  // physical design.
   sw::ScenarioSpec pos;
   pos.name = "z";
   pos.set("inlet_c", 0.0);
   sw::ScenarioSpec neg;
   neg.name = "z";
   neg.set("inlet_c", -0.0);
-  EXPECT_NE(sw::hash_scenario(pos, 7), sw::hash_scenario(neg, 7));
+  EXPECT_EQ(sw::hash_scenario(pos, 7), sw::hash_scenario(neg, 7));
+
+  // Every other bit pattern still hashes by raw IEEE-754 bits: values a
+  // printf would round together stay distinct evaluations.
+  sw::ScenarioSpec nearby = pos;
+  nearby.set("inlet_c", 5e-324);  // smallest subnormal: != 0.0
+  EXPECT_NE(sw::hash_scenario(pos, 7), sw::hash_scenario(nearby, 7));
 }
 
 TEST(ScenarioHash, HexIs32LowercaseChars) {
@@ -399,6 +407,38 @@ TEST(ResultStore, LeaseClaimReleaseAndSteal) {
   stolen = false;
   EXPECT_TRUE(store.try_claim(hash, 0.02, /*create_if_absent=*/false, &stolen));
   EXPECT_TRUE(stolen);
+  store.release(hash);
+}
+
+TEST(ResultStore, LeaseWithFutureMtimeIsStolenNotHeldForever) {
+  // Clock skew between hosts on a shared filesystem — or a store directory
+  // copied with timestamps — can leave a lease file whose mtime is ahead
+  // of this host's clock. Its age computes negative; before the clamp such
+  // a lease looked "fresh" forever and orphaned its row.
+  const sw::SweepPlan plan = small_array_grid();
+  const std::string dir = temp_dir("future_lease");
+  sw::ResultStore store(dir, scope_of(plan));
+  const sw::ScenarioHash hash{0xCC, 0xDD};
+
+  ASSERT_TRUE(store.try_claim(hash, 60.0, /*create_if_absent=*/true));
+  const fs::path lease = fs::path(dir) / "leases" / (hash.hex() + ".lease");
+  ASSERT_TRUE(fs::exists(lease));
+
+  // Forward-date the lease a full hour: a fresh claim must steal it even
+  // with a generous timeout, not wait the skew out.
+  fs::last_write_time(lease, fs::file_time_type::clock::now() + std::chrono::hours(1));
+  bool stolen = false;
+  EXPECT_TRUE(store.try_claim(hash, 60.0, /*create_if_absent=*/false, &stolen));
+  EXPECT_TRUE(stolen);
+
+  // Back-date it past the timeout: the ordinary crashed-peer steal.
+  fs::last_write_time(lease, fs::file_time_type::clock::now() - std::chrono::hours(1));
+  stolen = false;
+  EXPECT_TRUE(store.try_claim(hash, 60.0, /*create_if_absent=*/false, &stolen));
+  EXPECT_TRUE(stolen);
+
+  // Sanity: a just-claimed lease (mtime ~now) is still honored.
+  EXPECT_FALSE(store.try_claim(hash, 60.0, /*create_if_absent=*/false));
   store.release(hash);
 }
 

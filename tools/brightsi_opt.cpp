@@ -6,10 +6,18 @@
 //   brightsi_opt <study> [options]           run a registered study
 //
 // Options:
+//   --algo A          grid (default; axis refinement + Nelder-Mead) or
+//                     nsga2 (multi-objective evolutionary search with an
+//                     RBF surrogate pre-screen; needs a Pareto pair)
 //   --budget N        max evaluator invocations (default 64)
 //   --threads N       batch workers (default: hardware concurrency)
 //   --axis-points K   samples per axis per refinement pass (default 3)
 //   --no-polish       skip the Nelder-Mead polish of continuous params
+//   --population N    nsga2 individuals per generation (default 16)
+//   --screen-factor K nsga2 offspring proposed per real evaluation slot
+//                     (default 3; 1 disables the surrogate screen)
+//   --no-surrogate    nsga2: evaluate every proposal, never screen
+//   --seed S          nsga2 RNG seed (fixed default; determinism contract)
 //   --no-reuse        rebuild thermal structures per candidate
 //   --maximize M[*W]  replace the study's objective *terms*: maximize M
 //   --minimize M[*W]  ... or minimize it (repeatable; weights optional).
@@ -37,6 +45,7 @@
 #include <vector>
 
 #include "core/report.h"
+#include "opt/nsga2.h"
 #include "opt/studies.h"
 #include "sweep/execution.h"
 #include "cli_args.h"
@@ -50,11 +59,12 @@ namespace {
 int usage(const char* argv0, int exit_code) {
   std::fprintf(exit_code == 0 ? stdout : stderr,
                "usage: %s --list\n"
-               "       %s <study> [--budget N] [--threads N] [--axis-points K]\n"
-               "           [--no-polish] [--no-reuse] [--maximize M[*W]] [--minimize M[*W]]\n"
-               "           [--cap M=V] [--floor M=V] [--csv FILE] [--pareto FILE]\n"
-               "           [--json FILE] [--quiet] [--solver ilu0|mg]"
-               " [--transient full|rom] [--store DIR]\n",
+               "       %s <study> [--algo grid|nsga2] [--budget N] [--threads N]\n"
+               "           [--axis-points K] [--no-polish] [--population N]\n"
+               "           [--screen-factor K] [--no-surrogate] [--seed S] [--no-reuse]\n"
+               "           [--maximize M[*W]] [--minimize M[*W]] [--cap M=V] [--floor M=V]\n"
+               "           [--csv FILE] [--pareto FILE] [--json FILE] [--quiet]\n"
+               "           [--solver ilu0|mg] [--transient full|rom] [--store DIR]\n",
                argv0, argv0);
   return exit_code;
 }
@@ -80,9 +90,16 @@ void print_design_row(const op::OptResult& result, int index, TextTable& table) 
 void print_result(const op::OptResult& result) {
   std::printf("study %s: %s\n", result.study_name.c_str(),
               result.objective_description.c_str());
-  std::printf("%lld evaluations (%d refinement passes, %d polish steps) on %d threads",
-              result.evaluations(), result.passes, result.polish_steps,
-              result.archive.thread_count);
+  if (result.algo == "nsga2") {
+    std::printf("%lld evaluations (%d generations; %lld proposed, %lld screened out) "
+                "on %d threads",
+                result.evaluations(), result.generations, result.surrogate_candidates,
+                result.surrogate_screened, result.archive.thread_count);
+  } else {
+    std::printf("%lld evaluations (%d refinement passes, %d polish steps) on %d threads",
+                result.evaluations(), result.passes, result.polish_steps,
+                result.archive.thread_count);
+  }
   if (result.model_builds > 0) {
     // Only meaningful for evaluators that go through the thermal-model
     // structure cache; the rail evaluator, for example, never does.
@@ -130,6 +147,8 @@ int main(int argc, char** argv) {
 
   try {
     op::OptimizerOptions options;
+    op::Nsga2Options evo;
+    std::string algo = "grid";
     std::string csv_path;
     std::string pareto_path;
     std::string json_path;
@@ -146,8 +165,18 @@ int main(int argc, char** argv) {
       auto next_int = [&](int minimum) {
         return brightsi::tools::next_int_arg(argc, argv, i, arg, minimum);
       };
-      if (arg == "--budget") {
+      if (arg == "--algo") {
+        algo = brightsi::tools::next_choice_arg(argc, argv, i, arg, {"grid", "nsga2"});
+      } else if (arg == "--budget") {
         options.budget = next_int(1);
+      } else if (arg == "--population") {
+        evo.population = next_int(4);
+      } else if (arg == "--screen-factor") {
+        evo.screen_factor = next_int(1);
+      } else if (arg == "--no-surrogate") {
+        evo.surrogate = false;
+      } else if (arg == "--seed") {
+        evo.seed = std::stoull(next());
       } else if (arg == "--threads") {
         // 0 keeps the "hardware concurrency" default, as in brightsi_sweep.
         options.thread_count = next_int(0);
@@ -211,7 +240,16 @@ int main(int argc, char** argv) {
       shard.local = {options.thread_count, options.reuse_structures};
       options.backend = sw::make_shard_backend(std::move(shard));
     }
-    const op::OptResult result = op::optimize(study, options);
+    op::OptResult result;
+    if (algo == "nsga2") {
+      evo.budget = options.budget;
+      evo.thread_count = options.thread_count;
+      evo.reuse_structures = options.reuse_structures;
+      evo.backend = options.backend;
+      result = op::optimize_nsga2(study, evo);
+    } else {
+      result = op::optimize(study, options);
+    }
 
     if (!quiet) {
       print_result(result);
