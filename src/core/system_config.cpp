@@ -40,6 +40,16 @@ thermal::OperatingPoint SystemConfig::thermal_operating_point() const {
   return op;
 }
 
+thermal::OperatingPoint SystemConfig::loop_operating_point(
+    double flow_m3_per_s, double inlet_temperature_k,
+    const thermal::CoolantPropertyLaws& laws) const {
+  thermal::OperatingPoint op = thermal_operating_point();
+  op.total_flow_m3_per_s = flow_m3_per_s;
+  op.inlet_temperature_k = inlet_temperature_k;
+  op.coolant = laws.at(op.coolant, inlet_temperature_k);
+  return op;
+}
+
 SystemConfig power7_system_config() {
   SystemConfig config;
   config.power_spec = chip::Power7PowerSpec{};

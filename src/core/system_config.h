@@ -48,6 +48,16 @@ struct SystemConfig {
   /// queries) — the per-layer flow split must see exactly the coolant the
   /// solves use.
   [[nodiscard]] thermal::OperatingPoint thermal_operating_point() const;
+
+  /// The operating point of this chip as one branch of a shared coolant
+  /// loop (fleet/rack.h): the loop hands the chip `flow` at `inlet_k`, and
+  /// the loop's coolant laws re-price the transport properties at that
+  /// inlet. With the laws disabled (the default) the coolant is exactly
+  /// thermal_operating_point()'s — the constant-property contract that
+  /// keeps single-chip results bit-identical.
+  [[nodiscard]] thermal::OperatingPoint loop_operating_point(
+      double flow_m3_per_s, double inlet_temperature_k,
+      const thermal::CoolantPropertyLaws& laws) const;
 };
 
 /// The paper's case study: POWER7+ floorplan at full load, Table II array

@@ -164,6 +164,34 @@ Study rack_geometry_study() {
   return study;
 }
 
+/// Fleet rack topology: how many chips fit on how many shared loops, cut
+/// into how many serial segments, at what loop flow — maximizing rack
+/// capacity against pumping cost under the per-chip junction cap, with
+/// temperature-dependent coolant pricing the serial inlet rise. A mixed
+/// integer/real box made for --algo nsga2 (chips vs peak-T front).
+Study rack_topology_study() {
+  Study study;
+  study.name = "rack_topology";
+  study.summary =
+      "fleet rack topology: chips x loops x segments x loop flow, capacity vs "
+      "pump power under the 360 K cap";
+  study.base = core::power7_system_config();
+  study.base.thermal_grid.axial_cells = 8;  // N chip solves per candidate
+  study.evaluator = sweep::fleet_evaluator();
+  study.objective.terms = {{"chips", 1.0}, {"pump_w", -0.01}};
+  study.objective.constraints.push_back(peak_temperature_cap());
+  study.objective.pareto_maximize = "chips";
+  study.objective.pareto_minimize = "peak_t_c";
+  study.parameters = {
+      {"rack_chips", 2.0, 12.0, true},
+      {"rack_loops", 1.0, 2.0, true},
+      {"rack_segments", 1.0, 4.0, true},
+      {"rack_flow_ml_min", 200.0, 2000.0, false},
+  };
+  study.fixed = {{"coolant_temp_dep", 1.0}};
+  return study;
+}
+
 }  // namespace
 
 const std::vector<StudyDescription>& registered_studies() {
@@ -180,6 +208,8 @@ const std::vector<StudyDescription>& registered_studies() {
        "full 3D-stack trade space (6 mixed axes); the evolutionary optimizer's home study"},
       {"rack_geometry",
        "VRM grid/resistance x channel height x flow through the full co-simulation"},
+      {"rack_topology",
+       "fleet rack: chips x loops x segments x loop flow, capacity vs pump power"},
   };
   return studies;
 }
@@ -202,6 +232,9 @@ Study make_registered_study(const std::string& name) {
   }
   if (name == "rack_geometry") {
     return rack_geometry_study();
+  }
+  if (name == "rack_topology") {
+    return rack_topology_study();
   }
   throw std::invalid_argument("unknown optimization study: " + name);
 }

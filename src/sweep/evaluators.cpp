@@ -7,6 +7,7 @@
 #include "chip/power7.h"
 #include "core/cosim.h"
 #include "core/mission.h"
+#include "fleet/rack.h"
 #include "flowcell/cell_array.h"
 #include "hydraulics/pump.h"
 #include "pdn/power_grid.h"
@@ -37,6 +38,30 @@ chip::WorkloadTrace mission_workload(int kind, int repeats) {
                                   std::to_string(kind));
   }
   return chip::WorkloadTrace(base.phases(), repeats);
+}
+
+/// The demo rack implied by a scenario's evaluator-consumed fleet knobs
+/// (all registered with a null `apply` in parameter_registry()).
+fleet::RackSpec rack_from_scenario(const core::SystemConfig& config,
+                                   const ScenarioSpec& scenario) {
+  fleet::RackSpec rack = fleet::make_demo_rack(
+      config, static_cast<int>(scenario.get("rack_chips").value_or(4.0)),
+      static_cast<int>(scenario.get("rack_loops").value_or(1.0)),
+      static_cast<int>(scenario.get("rack_segments").value_or(2.0)),
+      scenario.get("rack_hetero").value_or(0.0) != 0.0,
+      static_cast<int>(scenario.get("rack_blocked").value_or(0.0)));
+  rack.loop_flow_m3_per_s = scenario.get("rack_flow_ml_min").value_or(676.0) * 1e-6 / 60.0;
+  rack.loop_inlet_temperature_k = scenario.get("rack_inlet_c").value_or(26.85) + 273.15;
+  rack.coolant_laws.temperature_dependent =
+      scenario.get("coolant_temp_dep").value_or(0.0) != 0.0;
+  // Re-price relative to the loop inlet, so the first segment of every loop
+  // sees exactly the reference coolant even with the laws enabled.
+  rack.coolant_laws.reference_temperature_k = rack.loop_inlet_temperature_k;
+  const double stagger_s = scenario.get("rack_stagger_s").value_or(0.0);
+  for (std::size_t i = 0; i < rack.chips.size(); ++i) {
+    rack.chips[i].workload_offset_s = static_cast<double>(i) * stagger_s;
+  }
+  return rack;
 }
 
 }  // namespace
@@ -251,6 +276,80 @@ SweepEvaluator stack_evaluator() {
   return evaluator;
 }
 
+SweepEvaluator fleet_evaluator() {
+  SweepEvaluator evaluator;
+  evaluator.name = "fleet";
+  evaluator.metrics = {"chips",           "loops",           "blocked",
+                       "peak_t_c",        "loop_out_c",      "max_inlet_rise_c",
+                       "inlet_monotonic", "pump_w",          "fluid_heat_w",
+                       "flow_frac_min",   "flow_frac_max",   "energy_err"};
+  evaluator.fn = [](const core::SystemConfig& config, const ScenarioSpec& scenario,
+                    WorkerState&) {
+    const fleet::RackSpec rack = rack_from_scenario(config, scenario);
+    const fleet::RackSolveResult result = fleet::solve_rack_steady(rack);
+    int blocked = 0;
+    double frac_min = 1.0;
+    double frac_max = 0.0;
+    for (const fleet::RackChipResult& c : result.chips) {
+      if (c.blocked) {
+        ++blocked;
+        continue;
+      }
+      frac_min = std::min(frac_min, c.flow_fraction);
+      frac_max = std::max(frac_max, c.flow_fraction);
+    }
+    double loop_out_k = 0.0;
+    for (const fleet::RackLoopResult& loop : result.loops) {
+      loop_out_k = std::max(loop_out_k, loop.outlet_temperature_k);
+    }
+    return std::vector<double>{
+        static_cast<double>(result.chips.size()),
+        static_cast<double>(result.loops.size()),
+        static_cast<double>(blocked),
+        result.peak_temperature_k - 273.15,
+        loop_out_k - 273.15,
+        result.max_inlet_rise_k,
+        result.inlet_monotonic ? 1.0 : 0.0,
+        result.pump_power_w,
+        result.heat_absorbed_w,
+        frac_min,
+        frac_max,
+        result.energy_balance_rel_error,
+    };
+  };
+  return evaluator;
+}
+
+SweepEvaluator fleet_replay_evaluator() {
+  SweepEvaluator evaluator;
+  evaluator.name = "fleet_replay";
+  evaluator.metrics = {"chips",   "steps",      "sim_s",
+                       "max_peak_c", "mean_pump_w", "heat_kj",
+                       "max_inlet_rise_c", "inlet_monotonic"};
+  evaluator.fn = [](const core::SystemConfig& config, const ScenarioSpec& scenario,
+                    WorkerState&) {
+    const fleet::RackSpec rack = rack_from_scenario(config, scenario);
+    fleet::FleetReplayOptions options;
+    options.trace = mission_workload(
+        static_cast<int>(scenario.get("workload_kind").value_or(1.0)),
+        static_cast<int>(scenario.get("workload_repeats").value_or(1.0)));
+    options.dt_s = scenario.get("rack_dt_s").value_or(0.05);
+    options.steps = static_cast<int>(scenario.get("rack_steps").value_or(20.0));
+    const fleet::FleetReplayResult result = fleet::replay_fleet_trace(rack, options);
+    return std::vector<double>{
+        static_cast<double>(rack.chips.size()),
+        static_cast<double>(result.steps),
+        result.sim_time_s,
+        result.max_peak_temperature_k - 273.15,
+        result.mean_pump_power_w,
+        result.heat_absorbed_j / 1e3,
+        result.max_inlet_rise_k,
+        result.inlet_monotonic ? 1.0 : 0.0,
+    };
+  };
+  return evaluator;
+}
+
 SweepEvaluator make_evaluator(const std::string& name) {
   if (name == "cosim") {
     return cosim_evaluator();
@@ -270,9 +369,15 @@ SweepEvaluator make_evaluator(const std::string& name) {
   if (name == "stack") {
     return stack_evaluator();
   }
+  if (name == "fleet") {
+    return fleet_evaluator();
+  }
+  if (name == "fleet_replay") {
+    return fleet_replay_evaluator();
+  }
   throw std::invalid_argument("unknown evaluator: " + name +
-                              " (expected cosim, array, array_thermal, rail, mission or "
-                              "stack)");
+                              " (expected cosim, array, array_thermal, rail, mission, "
+                              "stack, fleet or fleet_replay)");
 }
 
 }  // namespace brightsi::sweep

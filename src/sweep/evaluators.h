@@ -67,8 +67,22 @@ struct SweepEvaluator {
 /// set stays fixed while the layer count varies across scenarios).
 [[nodiscard]] SweepEvaluator stack_evaluator();
 
+/// Steady solve of a fleet rack (fleet/rack.h) built from the scenario's
+/// evaluator-consumed rack knobs (rack_chips, rack_loops, rack_segments,
+/// rack_hetero, rack_blocked, rack_flow_ml_min, rack_inlet_c,
+/// coolant_temp_dep): fleet peak/outlet temperatures, the serial inlet
+/// rise and its monotonicity, pump power, flow-fraction extremes across
+/// the live chip branches, and the loop energy-balance residual.
+[[nodiscard]] SweepEvaluator fleet_evaluator();
+
+/// Staggered workload-trace replay across the rack (workload_kind /
+/// workload_repeats / rack_stagger_s / rack_dt_s / rack_steps): transient
+/// fleet peaks, mean pump power and integrated coolant heat pickup.
+[[nodiscard]] SweepEvaluator fleet_replay_evaluator();
+
 /// Built-in evaluator by name ("cosim", "array", "array_thermal", "rail",
-/// "mission", "stack"); throws std::invalid_argument on anything else.
+/// "mission", "stack", "fleet", "fleet_replay"); throws
+/// std::invalid_argument on anything else.
 [[nodiscard]] SweepEvaluator make_evaluator(const std::string& name);
 
 }  // namespace brightsi::sweep

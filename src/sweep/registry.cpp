@@ -150,6 +150,56 @@ SweepPlan stack_3d_plan() {
   return plan;
 }
 
+/// Fleet-level rack design space: rack size x serial segmentation x
+/// temperature-dependent coolant, every scenario a steady solve of the
+/// whole rack's coupled loops. Named extras pin the heterogeneous
+/// (mixed one-/two-die) rack and a blocked-branch failure injection whose
+/// live plenum neighbors inherit the flow.
+SweepPlan fleet_rack_plan() {
+  SweepPlan plan;
+  plan.name = "fleet_rack";
+  plan.base = core::power7_system_config();
+  plan.base.thermal_grid.axial_cells = 8;  // N chips solve per scenario
+  plan.evaluator = fleet_evaluator();
+  plan.add_grid({{"rack_chips", {4.0, 8.0}},
+                 {"rack_segments", {2.0, 4.0}},
+                 {"coolant_temp_dep", {0.0, 1.0}}});
+  {
+    ScenarioSpec scenario;
+    scenario.name = "8 chips, 2 loops, heterogeneous";
+    scenario.set("rack_chips", 8.0);
+    scenario.set("rack_loops", 2.0);
+    scenario.set("rack_segments", 2.0);
+    scenario.set("rack_hetero", 1.0);
+    scenario.set("coolant_temp_dep", 1.0);
+    plan.add(std::move(scenario));
+  }
+  {
+    ScenarioSpec scenario;
+    scenario.name = "8 chips, 1 blocked branch";
+    scenario.set("rack_chips", 8.0);
+    scenario.set("rack_segments", 4.0);
+    scenario.set("rack_blocked", 1.0);
+    plan.add(std::move(scenario));
+  }
+  return plan;
+}
+
+/// Staggered fleet workload replay: rack size x per-chip stagger x
+/// workload trace, every scenario a transient replay re-walking the
+/// shared-loop coupling each step.
+SweepPlan fleet_mission_plan() {
+  SweepPlan plan;
+  plan.name = "fleet_mission";
+  plan.base = core::power7_system_config();
+  plan.base.thermal_grid.axial_cells = 8;  // chips x steps transient solves
+  plan.evaluator = fleet_replay_evaluator();
+  plan.add_grid({{"rack_chips", {2.0, 4.0}},
+                 {"rack_stagger_s", {0.0, 0.5}},
+                 {"workload_kind", {0.0, 1.0}}});
+  return plan;
+}
+
 }  // namespace
 
 const std::vector<PlanDescription>& registered_plans() {
@@ -166,6 +216,10 @@ const std::vector<PlanDescription>& registered_plans() {
        "transient mission endurance map: tank x workload x flow x dt"},
       {"stack_3d",
        "multi-die 3D stacks: dies x flow x channel height, interlayer flow split"},
+      {"fleet_rack",
+       "rack-level shared coolant loops: chips x segments x coolant laws, steady"},
+      {"fleet_mission",
+       "staggered fleet workload replay: chips x stagger x trace, transient"},
   };
   return plans;
 }
@@ -188,6 +242,12 @@ SweepPlan make_registered_plan(const std::string& name) {
   }
   if (name == "stack_3d") {
     return stack_3d_plan();
+  }
+  if (name == "fleet_rack") {
+    return fleet_rack_plan();
+  }
+  if (name == "fleet_mission") {
+    return fleet_mission_plan();
   }
   throw std::invalid_argument("unknown sweep plan: " + name);
 }

@@ -239,6 +239,29 @@ const std::vector<ParameterInfo>& parameter_registry() {
        "thermal stepping backend: 0 = full grid solve, 1 = certified reduced-order "
        "(mission evaluator)",
        nullptr, /*thermal_structural=*/true},
+      // Evaluator-consumed fleet parameters: a RackSpec wraps N SystemConfigs
+      // (fleet/rack.h), so the rack knobs have no single-chip field; the
+      // fleet evaluators read them off the scenario directly.
+      {"rack_chips", "chips in the demo rack (fleet evaluators)", nullptr},
+      {"rack_loops", "shared coolant loops of the rack (fleet evaluators)", nullptr},
+      {"rack_segments", "serial segments per coolant loop (fleet evaluators)", nullptr},
+      {"rack_hetero",
+       "1 = every odd chip is the two-die interlayer stack (fleet evaluators)", nullptr},
+      {"rack_blocked", "first N chips blocked: valve closed, powered off "
+       "(fleet evaluators)",
+       nullptr},
+      {"rack_flow_ml_min", "coolant flow per rack loop (ml/min; fleet evaluators)",
+       nullptr},
+      {"rack_inlet_c", "rack loop inlet temperature (deg C; fleet evaluators)", nullptr},
+      {"coolant_temp_dep",
+       "1 = temperature-dependent coolant viscosity/conductivity along the loops "
+       "(fleet evaluators)",
+       nullptr},
+      {"rack_stagger_s", "per-chip workload stagger: chip i offset i*s "
+       "(fleet_replay evaluator)",
+       nullptr},
+      {"rack_dt_s", "fleet replay transient step (s; fleet_replay evaluator)", nullptr},
+      {"rack_steps", "fleet replay step count (fleet_replay evaluator)", nullptr},
   };
   return registry;
 }

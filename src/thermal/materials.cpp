@@ -1,0 +1,36 @@
+#include "thermal/materials.h"
+
+#include <cmath>
+
+#include "numerics/contracts.h"
+
+namespace brightsi::thermal {
+
+namespace {
+
+constexpr double kGasConstantJPerMolK = 8.314462618;
+
+}  // namespace
+
+CoolantProperties CoolantPropertyLaws::at(const CoolantProperties& reference,
+                                          double temperature_k) const {
+  if (!temperature_dependent) {
+    return reference;
+  }
+  ensure_positive(temperature_k, "coolant temperature");
+  ensure_positive(reference_temperature_k, "coolant reference temperature");
+  CoolantProperties coolant = reference;
+  // mu(T) = mu_ref * exp(+(Ea/R) (1/T - 1/T_ref)): decreases with T for
+  // positive Ea (same convention as electrochem::ViscosityLaw).
+  coolant.dynamic_viscosity_pa_s =
+      reference.dynamic_viscosity_pa_s *
+      std::exp(viscosity_activation_j_per_mol / kGasConstantJPerMolK *
+               (1.0 / temperature_k - 1.0 / reference_temperature_k));
+  coolant.thermal_conductivity_w_per_m_k =
+      reference.thermal_conductivity_w_per_m_k *
+      (1.0 + conductivity_coeff_per_k * (temperature_k - reference_temperature_k));
+  ensure_positive(coolant.thermal_conductivity_w_per_m_k, "coolant thermal conductivity");
+  return coolant;
+}
+
+}  // namespace brightsi::thermal

@@ -33,6 +33,32 @@ struct CoolantProperties {
   double volumetric_heat_capacity_j_per_m3_k = 4.187e6;  ///< Table II
   double density_kg_per_m3 = 1260.0;
   double dynamic_viscosity_pa_s = 2.53e-3;
+
+  friend bool operator==(const CoolantProperties&, const CoolantProperties&) = default;
+};
+
+/// Temperature dependence of the coolant transport properties, for
+/// shared-loop (rack) solves where the inlet temperature rises chip to
+/// chip along a serial loop segment: Andrade (Arrhenius) viscosity decrease
+/// and a linear conductivity rise about the reference state. Density and
+/// volumetric heat capacity stay at their reference values (their variation
+/// over the 27–70 C window is ~1 %, far below the viscosity's ~2 %/K).
+///
+/// Disabled — the default — `at()` returns `reference` unchanged, bit for
+/// bit, so every single-chip path and golden table is unaffected.
+struct CoolantPropertyLaws {
+  bool temperature_dependent = false;
+  /// Andrade activation energy; the electrolyte's default 16 kJ/mol gives
+  /// the ~2 %/K decrease of aqueous vanadium electrolytes.
+  double viscosity_activation_j_per_mol = 16000.0;
+  /// Linear conductivity coefficient (water-like: ~ +0.24 %/K near 300 K).
+  double conductivity_coeff_per_k = 2.4e-3;
+  double reference_temperature_k = 300.0;
+
+  /// `reference` re-priced at `temperature_k`; `reference` itself when the
+  /// laws are disabled.
+  [[nodiscard]] CoolantProperties at(const CoolantProperties& reference,
+                                     double temperature_k) const;
 };
 
 }  // namespace brightsi::thermal

@@ -188,7 +188,7 @@ std::vector<double> ThermalModel::layer_flow_split(const OperatingPoint& op) con
   for (const MicrochannelLayerSpec& ch : channel_specs_) {
     groups.push_back({hydraulics::RectangularDuct(ch.channel_width_m, ch.layer_height_m,
                                                   die_height_m_),
-                      ch.channel_count});
+                      ch.channel_count, ch.name});
   }
   return hydraulics::split_equal_pressure(op.total_flow_m3_per_s, groups,
                                           op.coolant.dynamic_viscosity_pa_s)

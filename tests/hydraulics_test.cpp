@@ -248,4 +248,107 @@ TEST(Manifold, EmptyChannelListThrows) {
   EXPECT_THROW(hy::split_by_conductance(1e-6, none, 1e-3), std::invalid_argument);
 }
 
+// ------------------------------------------------- equal-pressure groups
+TEST(SplitEqualPressure, BlockedGroupTakesExactlyZeroFlow) {
+  const hy::RectangularDuct duct(200e-6, 400e-6, 22e-3);
+  const std::vector<hy::ParallelChannelGroup> groups = {
+      {duct, 44, "live"},
+      {duct, 0, "blocked"},  // valve closed: zero channels
+  };
+  const auto split = hy::split_equal_pressure(88e-6, groups, 2.53e-3);
+  EXPECT_DOUBLE_EQ(split.per_group_flow_m3_per_s[0], 88e-6);
+  EXPECT_DOUBLE_EQ(split.per_group_flow_m3_per_s[1], 0.0);
+  EXPECT_DOUBLE_EQ(split.fraction[0], 1.0);
+  EXPECT_DOUBLE_EQ(split.fraction[1], 0.0);
+  EXPECT_GT(split.common_pressure_drop_pa, 0.0);
+}
+
+TEST(SplitEqualPressure, BlockedGroupDoesNotPerturbLiveSplit) {
+  // The survivors' split with a blocked group present must be bit-identical
+  // to the same split without it — a zero conductance adds exactly +0.0 to
+  // the Brent bracket arithmetic.
+  const hy::RectangularDuct narrow(200e-6, 400e-6, 22e-3);
+  const hy::RectangularDuct wide(400e-6, 400e-6, 22e-3);
+  const std::vector<hy::ParallelChannelGroup> live = {{narrow, 44, "a"}, {wide, 44, "b"}};
+  const std::vector<hy::ParallelChannelGroup> with_blocked = {
+      {narrow, 44, "a"}, {wide, 44, "b"}, {narrow, 0, "stuck"}};
+  const auto base = hy::split_equal_pressure(88e-6, live, 2.53e-3);
+  const auto hardened = hy::split_equal_pressure(88e-6, with_blocked, 2.53e-3);
+  EXPECT_EQ(base.per_group_flow_m3_per_s[0], hardened.per_group_flow_m3_per_s[0]);
+  EXPECT_EQ(base.per_group_flow_m3_per_s[1], hardened.per_group_flow_m3_per_s[1]);
+  EXPECT_EQ(base.common_pressure_drop_pa, hardened.common_pressure_drop_pa);
+  EXPECT_DOUBLE_EQ(hardened.per_group_flow_m3_per_s[2], 0.0);
+}
+
+TEST(SplitEqualPressure, AllBlockedThrowsNamedError) {
+  const hy::RectangularDuct duct(200e-6, 400e-6, 22e-3);
+  const std::vector<hy::ParallelChannelGroup> groups = {{duct, 0, "north"},
+                                                        {duct, 0, "south"}};
+  try {
+    (void)hy::split_equal_pressure(88e-6, groups, 2.53e-3);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("zero total conductance"), std::string::npos) << what;
+    EXPECT_NE(what.find("north"), std::string::npos) << what;
+    EXPECT_NE(what.find("south"), std::string::npos) << what;
+  }
+}
+
+TEST(SplitEqualPressure, NegativeChannelCountThrows) {
+  const hy::RectangularDuct duct(200e-6, 400e-6, 22e-3);
+  const std::vector<hy::ParallelChannelGroup> groups = {{duct, -1, "bad"}};
+  EXPECT_THROW((void)hy::split_equal_pressure(1e-6, groups, 2.53e-3),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------ rack parallel branches
+TEST(SplitEqualPressure, BranchConductanceSumsItsGroups) {
+  const hy::RectangularDuct duct(200e-6, 400e-6, 22e-3);
+  hy::ParallelBranch branch;
+  branch.name = "chip0";
+  branch.groups = {{duct, 44, "bottom"}, {duct, 44, "top"}};
+  const double mu = 2.53e-3;
+  EXPECT_NEAR(branch.conductance(mu), 88.0 * duct.hydraulic_conductance(mu),
+              1e-9 * branch.conductance(mu));
+}
+
+TEST(SplitEqualPressure, BlockedBranchFlowGoesToSurvivors) {
+  const hy::RectangularDuct duct(200e-6, 400e-6, 22e-3);
+  hy::ParallelBranch live1{"chip0", {{duct, 88, "cool"}}};
+  hy::ParallelBranch live2{"chip1", {{duct, 88, "cool"}}};
+  hy::ParallelBranch blocked{"chip2", {}};  // no groups at all: valve closed
+  const std::vector<hy::ParallelBranch> branches = {live1, blocked, live2};
+  const double total = 3e-6;
+  const auto split = hy::split_equal_pressure(total, branches, 2.53e-3);
+  EXPECT_NEAR(split.per_group_flow_m3_per_s[0], total / 2.0, total * 1e-12);
+  EXPECT_DOUBLE_EQ(split.per_group_flow_m3_per_s[1], 0.0);
+  EXPECT_NEAR(split.per_group_flow_m3_per_s[2], total / 2.0, total * 1e-12);
+  EXPECT_NEAR(split.fraction[0] + split.fraction[1] + split.fraction[2], 1.0, 1e-12);
+}
+
+TEST(SplitEqualPressure, AllBlockedBranchesThrowNamedError) {
+  const std::vector<hy::ParallelBranch> branches = {{"chip0", {}}, {"chip1", {}}};
+  try {
+    (void)hy::split_equal_pressure(1e-6, branches, 2.53e-3);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("chip0"), std::string::npos) << what;
+    EXPECT_NE(what.find("chip1"), std::string::npos) << what;
+  }
+}
+
+TEST(SplitEqualPressure, HeterogeneousBranchesFollowConductance) {
+  // A branch with twice the channels takes twice the flow — the linear
+  // laminar law makes the equal-dp split proportional to conductance.
+  const hy::RectangularDuct duct(200e-6, 400e-6, 22e-3);
+  hy::ParallelBranch single{"one-die", {{duct, 88, "cool"}}};
+  hy::ParallelBranch stacked{"two-die", {{duct, 88, "lower"}, {duct, 88, "upper"}}};
+  const std::vector<hy::ParallelBranch> branches = {single, stacked};
+  const auto split = hy::split_equal_pressure(3e-6, branches, 2.53e-3);
+  EXPECT_NEAR(split.fraction[0], 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(split.fraction[1], 2.0 / 3.0, 1e-9);
+}
+
 }  // namespace

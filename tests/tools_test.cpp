@@ -137,4 +137,32 @@ TEST(CliArgs, UnknownOptionMessageMatchesTheCiPinnedText) {
   EXPECT_EQ(to::unknown_option_message("--nope"), "unknown option --nope");
 }
 
+TEST(CliArgs, ParseShardSpecAcceptsWellFormedPairs) {
+  EXPECT_EQ(to::parse_shard_spec("--shard", "0/3"), (std::pair<int, int>{0, 3}));
+  EXPECT_EQ(to::parse_shard_spec("--shard", "2/3"), (std::pair<int, int>{2, 3}));
+  EXPECT_EQ(to::parse_shard_spec("--shard", "12/40"), (std::pair<int, int>{12, 40}));
+}
+
+TEST(CliArgs, ParseShardSpecRejectsTrailingGarbage) {
+  // std::stoi alone accepts "1abc" as 1; the helper must reject partial
+  // parses instead of silently running the wrong shard.
+  for (const char* spec : {"1abc/3", "1/3def", "1abc/3def", "1.5/3", "1/3/5", "0x1/3"}) {
+    const std::string message = invalid_argument_message(
+        [&] { (void)to::parse_shard_spec("--shard", spec); });
+    EXPECT_EQ(message, std::string("--shard expects I/N (e.g. 0/3), got: ") + spec);
+  }
+}
+
+TEST(CliArgs, ParseShardSpecRejectsMalformedShapes) {
+  for (const char* spec : {"nope", "/3", "1/", "/", ""}) {
+    EXPECT_THROW((void)to::parse_shard_spec("--shard", spec), std::invalid_argument)
+        << spec;
+  }
+}
+
+TEST(CliArgs, ParseShardSpecRejectsNegatives) {
+  EXPECT_THROW((void)to::parse_shard_spec("--shard", "-1/3"), std::invalid_argument);
+  EXPECT_THROW((void)to::parse_shard_spec("--shard", "1/-3"), std::invalid_argument);
+}
+
 }  // namespace

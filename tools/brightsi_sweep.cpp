@@ -6,7 +6,8 @@
 //   brightsi_sweep <plan> [options]            run a registered plan
 //   brightsi_sweep custom --evaluator <name>
 //       --grid p=v1,v2,... [--grid ...] [--set p=v ...]   ad-hoc sweep
-//       (evaluators: cosim, array, array_thermal, rail, mission, stack)
+//       (evaluators: cosim, array, array_thermal, rail, mission, stack,
+//        fleet, fleet_replay)
 //
 // Options:
 //   --threads N     worker threads (default: hardware concurrency)
@@ -36,6 +37,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/report.h"
@@ -57,7 +59,7 @@ int usage(const char* argv0, int exit_code) {
                " [--transient full|rom] [--store DIR [--shard I/N] [--limit N]"
                " [--lease-timeout S]]\n"
                "       %s custom --evaluator cosim|array|array_thermal|rail|mission|stack"
-               " (--grid p=v1,v2,... | --set p=v)... [options]\n",
+               "|fleet|fleet_replay (--grid p=v1,v2,... | --set p=v)... [options]\n",
                argv0, argv0, argv0);
   return exit_code;
 }
@@ -190,17 +192,8 @@ int main(int argc, char** argv) {
       } else if (arg == "--store") {
         shard.store_dir = next();
       } else if (arg == "--shard") {
-        const std::string spec = next();
-        const auto slash = spec.find('/');
-        if (slash == std::string::npos || slash == 0 || slash + 1 >= spec.size()) {
-          throw std::invalid_argument("--shard expects I/N (e.g. 0/3), got: " + spec);
-        }
-        try {
-          shard.shard_index = std::stoi(spec.substr(0, slash));
-          shard.shard_count = std::stoi(spec.substr(slash + 1));
-        } catch (const std::exception&) {
-          throw std::invalid_argument("--shard expects I/N (e.g. 0/3), got: " + spec);
-        }
+        std::tie(shard.shard_index, shard.shard_count) =
+            brightsi::tools::parse_shard_spec(arg, next());
       } else if (arg == "--limit") {
         shard.row_limit = brightsi::tools::next_int_arg(argc, argv, i, arg, 0);
       } else if (arg == "--lease-timeout") {

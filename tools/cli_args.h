@@ -7,6 +7,7 @@
 #include <initializer_list>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace brightsi::tools {
 
@@ -56,6 +57,42 @@ inline std::string next_choice_arg(int argc, char** argv, int& i, const std::str
   }
   throw std::invalid_argument("invalid value '" + value + "' after " + flag +
                               " (expected one of: " + listed + ")");
+}
+
+/// Parses a "--shard I/N" spec into (shard index, shard count). Both halves
+/// must parse completely — "1abc/3def" is rejected, not silently run as
+/// shard 1/3 — and negative values are rejected here rather than left to
+/// surface as a confusing store error later. One pinned message for every
+/// malformed form (ctest's brightsi_sweep_bad_shard_spec family).
+inline std::pair<int, int> parse_shard_spec(const std::string& flag,
+                                            const std::string& spec) {
+  const auto malformed = [&] {
+    return std::invalid_argument(flag + " expects I/N (e.g. 0/3), got: " + spec);
+  };
+  const auto slash = spec.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= spec.size()) {
+    throw malformed();
+  }
+  int index = 0;
+  int count = 0;
+  try {
+    std::size_t consumed = 0;
+    index = std::stoi(spec.substr(0, slash), &consumed);
+    if (consumed != slash) {
+      throw std::invalid_argument(spec);
+    }
+    const std::string count_text = spec.substr(slash + 1);
+    count = std::stoi(count_text, &consumed);
+    if (consumed != count_text.size()) {
+      throw std::invalid_argument(spec);
+    }
+  } catch (const std::exception&) {
+    throw malformed();
+  }
+  if (index < 0 || count < 0) {
+    throw malformed();
+  }
+  return {index, count};
 }
 
 /// The exact unknown-flag diagnostic both CLIs print (prefixed "error: ");
